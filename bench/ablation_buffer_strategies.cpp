@@ -1,0 +1,59 @@
+// Ablation A1 (DESIGN.md): buffer organization strategies.
+//   naive — private buffers per edge (no sharing);
+//   chain — the paper's Algorithm 1 shared chains;
+//   tree  — capacity-aware trees (identical counts to chain when unlimited).
+// Quantifies the savings of Algorithm 1's chain sharing, which the paper
+// claims is buffer-minimal.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/stats.hpp"
+
+using namespace wavemig;
+
+int main() {
+  bench::print_title("Ablation A1 - Buffer insertion strategies (BUF alone, all benchmarks)");
+
+  std::printf("%-16s %10s | %10s %10s %10s | %10s\n", "benchmark", "size", "naive", "chain",
+              "tree", "saved");
+  bench::print_rule();
+
+  std::vector<double> savings;
+  std::size_t total_naive = 0;
+  std::size_t total_chain = 0;
+  for (const auto& benchmk : gen::build_suite()) {
+    buffer_insertion_options naive_opts;
+    naive_opts.strategy = buffer_strategy::naive;
+    buffer_insertion_options chain_opts;
+    chain_opts.strategy = buffer_strategy::chain;
+    buffer_insertion_options tree_opts;
+    tree_opts.strategy = buffer_strategy::tree;
+
+    const auto naive = insert_buffers(benchmk.net, naive_opts);
+    const auto chain = insert_buffers(benchmk.net, chain_opts);
+    const auto tree = insert_buffers(benchmk.net, tree_opts);
+
+    total_naive += naive.buffers_added;
+    total_chain += chain.buffers_added;
+    const double saved =
+        naive.buffers_added == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(chain.buffers_added) /
+                                 static_cast<double>(naive.buffers_added));
+    savings.push_back(saved);
+    std::printf("%-16s %10zu | %10zu %10zu %10zu | %9.1f%%\n", benchmk.name.c_str(),
+                benchmk.net.num_components(), naive.buffers_added, chain.buffers_added,
+                tree.buffers_added, saved);
+  }
+  bench::print_rule();
+  std::printf("suite total: naive %zu, chain %zu  ->  chain sharing saves %.1f%% overall\n",
+              total_naive, total_chain,
+              100.0 * (1.0 - static_cast<double>(total_chain) /
+                                 static_cast<double>(total_naive == 0 ? 1 : total_naive)));
+  std::printf("average per-circuit saving: %.1f%%\n", mean(savings));
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+
+// Shared formatting helpers for the table/figure reproduction binaries.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wavemig::bench {
+
+inline void print_rule(char fill = '-', int width = 110) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar(fill);
+  }
+  std::putchar('\n');
+}
+
+inline void print_title(const std::string& title) {
+  print_rule('=');
+  std::printf("%s\n", title.c_str());
+  print_rule('=');
+}
+
+/// Formats a double with engineering-friendly precision (Table II style).
+inline std::string fmt(double value, int precision = 2) {
+  char buffer[64];
+  if (value != 0.0 && (value < 1e-2 || value >= 1e6)) {
+    std::snprintf(buffer, sizeof(buffer), "%.2e", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  }
+  return buffer;
+}
+
+}  // namespace wavemig::bench

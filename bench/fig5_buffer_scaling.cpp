@@ -1,0 +1,46 @@
+// Reproduces Fig. 5: number of balancing buffers added (BUF alone) versus
+// the original netlist size, over all 37 suite benchmarks, with the
+// log-log power-law fit B(s) = c * s^e (paper: 7.95 * s^0.9).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/pipeline.hpp"
+#include "wavemig/stats.hpp"
+
+using namespace wavemig;
+
+int main() {
+  bench::print_title("Fig. 5 - Balancing buffers added vs original netlist size (BUF alone)");
+
+  std::printf("%-16s %10s %10s %10s\n", "benchmark", "size", "buffers", "ratio");
+  bench::print_rule();
+
+  std::vector<double> sizes;
+  std::vector<double> buffers;
+  std::vector<double> ratios;
+  for (const auto& benchmk : gen::build_suite()) {
+    pipeline_options opts;
+    opts.fanout_limit.reset();  // buffer insertion only
+    const auto result = wave_pipeline(benchmk.net, opts);
+    const auto size = static_cast<double>(result.original_stats.components);
+    const auto added = static_cast<double>(result.balance_buffers_added);
+    sizes.push_back(size);
+    buffers.push_back(added);
+    if (added > 0.0) {
+      ratios.push_back(added / size);
+    }
+    std::printf("%-16s %10.0f %10.0f %10.2f\n", benchmk.name.c_str(), size, added, added / size);
+  }
+  bench::print_rule();
+
+  const auto fit = fit_power_law(sizes, buffers);
+  std::printf("power-law fit:    B(s) = %.2f * s^%.3f   (r^2 = %.3f in log-log space)\n",
+              fit.coefficient, fit.exponent, fit.r_squared);
+  std::printf("paper trend line: B(s) = 7.95 * s^0.900\n");
+  std::printf("mean buffers/size over buffered circuits: %.2f (paper: 2x-4x on average)\n",
+              mean(ratios));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Fig. 7: increase of critical path length after fan-out
+// restriction (limits 2..5) over the original critical path, for all 37
+// benchmarks, plus the per-limit averages the paper quotes
+// (+140% / +57% / +36% / +26% for FO2 / FO3 / FO4 / FO5).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "wavemig/fanout_restriction.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/stats.hpp"
+
+using namespace wavemig;
+
+int main() {
+  bench::print_title("Fig. 7 - Critical path increase after fan-out restriction (FOk alone)");
+
+  std::printf("%-16s %8s | %10s %10s %10s %10s\n", "benchmark", "orig CP", "FO2", "FO3", "FO4",
+              "FO5");
+  bench::print_rule();
+
+  std::vector<std::vector<double>> increases(4);
+  for (const auto& benchmk : gen::build_suite()) {
+    std::printf("%-16s", benchmk.name.c_str());
+    bool first = true;
+    for (unsigned k = 2; k <= 5; ++k) {
+      const auto result = restrict_fanout(benchmk.net, {k, true});
+      if (first) {
+        std::printf(" %8u |", result.depth_before);
+        first = false;
+      }
+      const double pct = 100.0 * (static_cast<double>(result.depth_after) /
+                                      static_cast<double>(result.depth_before) -
+                                  1.0);
+      increases[k - 2].push_back(pct);
+      std::printf(" %9.1f%%", pct);
+    }
+    std::printf("\n");
+  }
+  bench::print_rule();
+
+  static const double paper_avgs[4] = {140.0, 57.0, 36.0, 26.0};
+  std::printf("%-27s", "average increase");
+  for (unsigned k = 2; k <= 5; ++k) {
+    std::printf(" %9.1f%%", mean(increases[k - 2]));
+  }
+  std::printf("\n%-27s", "paper average");
+  for (unsigned k = 2; k <= 5; ++k) {
+    std::printf(" %9.1f%%", paper_avgs[k - 2]);
+  }
+  std::printf("\n");
+  return 0;
+}

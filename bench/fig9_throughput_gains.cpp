@@ -1,0 +1,55 @@
+// Reproduces Fig. 9: normalized throughput-per-area and throughput-per-power
+// gains of wave pipelining (FO3+BUF) for SWD, QCA and NML, averaged over all
+// 37 benchmarks (paper: T/A 5x / 8x / 3x and T/P 23x / 13x / 5x).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/metrics.hpp"
+#include "wavemig/pipeline.hpp"
+#include "wavemig/stats.hpp"
+
+using namespace wavemig;
+
+int main() {
+  bench::print_title("Fig. 9 - Normalized T/A and T/P gains per technology (FO3+BUF)");
+
+  const std::array<technology, 3> techs{technology::swd(), technology::qca(), technology::nml()};
+  static const double paper_ta[3] = {5.0, 8.0, 3.0};
+  static const double paper_tp[3] = {23.0, 13.0, 5.0};
+
+  std::printf("%-16s", "benchmark");
+  for (const auto& t : techs) {
+    std::printf(" | %8s T/A %8s T/P", t.name.c_str(), t.name.c_str());
+  }
+  std::printf("\n");
+  bench::print_rule('-', 110);
+
+  std::array<std::vector<double>, 3> ta_gains;
+  std::array<std::vector<double>, 3> tp_gains;
+  for (const auto& benchmk : gen::build_suite()) {
+    const auto piped = wave_pipeline(benchmk.net);  // FO3 + BUF
+    std::printf("%-16s", benchmk.name.c_str());
+    for (std::size_t t = 0; t < techs.size(); ++t) {
+      const auto cmp = compare_metrics(benchmk.net, piped.net, techs[t]);
+      ta_gains[t].push_back(cmp.ta_gain);
+      tp_gains[t].push_back(cmp.tp_gain);
+      std::printf(" | %12.2f %12.2f", cmp.ta_gain, cmp.tp_gain);
+    }
+    std::printf("\n");
+  }
+  bench::print_rule('-', 110);
+
+  std::printf("%-16s", "average");
+  for (std::size_t t = 0; t < techs.size(); ++t) {
+    std::printf(" | %12.2f %12.2f", mean(ta_gains[t]), mean(tp_gains[t]));
+  }
+  std::printf("\n%-16s", "paper average");
+  for (std::size_t t = 0; t < techs.size(); ++t) {
+    std::printf(" | %12.2f %12.2f", paper_ta[t], paper_tp[t]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// P1: algorithm performance microbenchmarks (google-benchmark).
+// Measures the wave-pipelining passes and supporting algorithms against
+// circuit size, confirming the near-linear scaling that makes the flow
+// practical at the 1e5-component scale of Fig. 5.
+
+#include <benchmark/benchmark.h>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/depth_rewriting.hpp"
+#include "wavemig/fanout_restriction.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/random_mig.hpp"
+#include "wavemig/inverter_optimization.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/pipeline.hpp"
+#include "wavemig/simulation.hpp"
+#include "wavemig/wave_simulator.hpp"
+
+namespace {
+
+using namespace wavemig;
+
+mig_network sized_random(std::int64_t gates) {
+  return gen::random_mig(
+      {32, static_cast<unsigned>(gates), 0.4, 256, static_cast<std::uint64_t>(gates)});
+}
+
+void BM_buffer_insertion(benchmark::State& state) {
+  const auto net = sized_random(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(insert_buffers(net));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_buffer_insertion)->Range(1000, 64000)->Complexity(benchmark::oN)->Unit(benchmark::kMillisecond);
+
+void BM_fanout_restriction(benchmark::State& state) {
+  const auto net = sized_random(8000);
+  const auto limit = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(restrict_fanout(net, {limit, true}));
+  }
+}
+BENCHMARK(BM_fanout_restriction)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+void BM_full_pipeline(benchmark::State& state) {
+  const auto net = sized_random(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wave_pipeline(net));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_full_pipeline)->Range(1000, 32000)->Complexity(benchmark::oN)->Unit(benchmark::kMillisecond);
+
+void BM_depth_rewriting(benchmark::State& state) {
+  const auto net = sized_random(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(depth_rewrite(net, {2, true}));
+  }
+}
+BENCHMARK(BM_depth_rewriting)->Range(1000, 16000)->Unit(benchmark::kMillisecond);
+
+void BM_inverter_optimization(benchmark::State& state) {
+  const auto net = sized_random(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_inverters(net));
+  }
+}
+BENCHMARK(BM_inverter_optimization)->Range(1000, 16000)->Unit(benchmark::kMillisecond);
+
+void BM_levels(benchmark::State& state) {
+  const auto net = sized_random(32000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_levels(net));
+  }
+}
+BENCHMARK(BM_levels);
+
+void BM_word_simulation(benchmark::State& state) {
+  const auto net = sized_random(16000);
+  std::vector<std::uint64_t> words(net.num_pis(), 0xA5A5A5A5A5A5A5A5ull);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_words(net, words));
+  }
+}
+BENCHMARK(BM_word_simulation);
+
+void BM_wave_simulation(benchmark::State& state) {
+  const auto net = insert_buffers(gen::multiplier_circuit(6)).net;
+  std::vector<std::vector<bool>> waves(static_cast<std::size_t>(state.range(0)),
+                                       std::vector<bool>(net.num_pis(), true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_waves(net, waves, 3));
+  }
+}
+BENCHMARK(BM_wave_simulation)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

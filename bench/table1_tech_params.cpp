@@ -1,0 +1,40 @@
+// Reproduces Table I: technology cell and gate parameters for SWD, QCA and
+// NML, exactly as used by the metrics engine.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "wavemig/technology.hpp"
+
+using namespace wavemig;
+
+namespace {
+
+void print_technology(const technology& t) {
+  std::printf("%s Cell           | Relative values   INV    MAJ    BUF    FOG\n", t.name.c_str());
+  std::printf("  Area   (um^2) %-10.6g | Area          %6.4g %6.4g %6.4g %6.4g\n",
+              t.cell_area_um2, t.inv.area, t.maj.area, t.buf.area, t.fog.area);
+  std::printf("  Delay  (ns)   %-10.6g | Delay         %6.4g %6.4g %6.4g %6.4g\n",
+              t.cell_delay_ns, t.inv.delay, t.maj.delay, t.buf.delay, t.fog.delay);
+  std::printf("  Energy (fJ)   %-10.6g | Energy        %6.4g %6.4g %6.4g %6.4g\n",
+              t.cell_energy_fj, t.inv.energy, t.maj.energy, t.buf.energy, t.fog.energy);
+  std::printf("  wave-clock phase delay: %g ns", t.phase_delay_ns);
+  if (t.sense_amp_energy_fj > 0.0) {
+    std::printf("   (+ %g fJ sense amplifier per output)", t.sense_amp_energy_fj);
+  }
+  std::printf("\n");
+  bench::print_rule();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Table I - Technology cell and gate parameters (Zografos et al., DATE'17)");
+  print_technology(technology::swd());
+  print_technology(technology::qca());
+  print_technology(technology::nml());
+  std::printf(
+      "Sources: SWD from [22], QCA from [12], NML from [11],[24]; phase delays\n"
+      "derived from Table II throughput columns (see EXPERIMENTS.md).\n");
+  return 0;
+}

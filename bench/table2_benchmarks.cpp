@@ -1,0 +1,83 @@
+// Reproduces Table II: per-benchmark Original vs Wave-Pipelined metrics for
+// the seven selected circuits on SWD, QCA and NML (FO3 + BUF flow, §V).
+//
+// Paper reference values are printed alongside for comparison; absolute
+// numbers differ because the benchmark netlists are regenerated (see
+// DESIGN.md "Substitutions"), the shape — who wins and by roughly what
+// factor — is the reproduction target.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/metrics.hpp"
+#include "wavemig/pipeline.hpp"
+
+using namespace wavemig;
+
+namespace {
+
+struct paper_row {
+  double ta_gain;
+  double tp_gain;
+};
+
+// Paper Table II T/A and T/P columns (SWD, QCA, NML) for the 7 circuits.
+const std::map<std::string, std::array<paper_row, 3>> paper_reference{
+    {"sasc", {{{1.36, 3.00}, {1.59, 2.38}, {0.76, 1.13}}}},
+    {"des_area", {{{3.75, 12.67}, {5.33, 9.21}, {2.46, 4.25}}}},
+    {"mul32", {{{8.38, 19.33}, {10.52, 16.95}, {6.36, 10.25}}}},
+    {"hamming", {{{8.02, 32.00}, {13.93, 21.92}, {4.65, 7.32}}}},
+    {"mul64", {{{14.98, 45.00}, {25.40, 31.46}, {8.59, 10.64}}}},
+    {"revx", {{{20.13, 75.00}, {32.81, 51.62}, {12.16, 19.14}}}},
+    {"diffeq1", {{{12.74, 94.00}, {29.73, 38.28}, {5.82, 7.49}}}},
+};
+
+void print_tech_block(const technology& tech, unsigned tech_index,
+                      const std::vector<gen::benchmark_case>& circuits,
+                      const std::vector<pipeline_result>& piped) {
+  std::printf("%s\n", tech.name.c_str());
+  std::printf("%-10s %5s %5s %8s %8s | %10s %10s | %9s %9s | %10s %10s | %6s %6s | %6s %6s\n",
+              "bench", "d", "d_wp", "size", "size_wp", "area", "area_wp", "P(uW)", "P_wp",
+              "T(MOPS)", "T_wp", "T/A", "ref", "T/P", "ref");
+  bench::print_rule('-', 150);
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    const auto cmp = compare_metrics(circuits[i].net, piped[i].net, tech);
+    const auto& ref = paper_reference.at(circuits[i].name)[tech_index];
+    std::printf(
+        "%-10s %5u %5u %8zu %8zu | %10s %10s | %9s %9s | %10s %10s | %6.2f %6.2f | %6.2f %6.2f\n",
+        circuits[i].name.c_str(), cmp.original.depth, cmp.pipelined.depth,
+        cmp.original.components.total(), cmp.pipelined.components.total(),
+        bench::fmt(cmp.original.area_um2).c_str(), bench::fmt(cmp.pipelined.area_um2).c_str(),
+        bench::fmt(cmp.original.power_uw).c_str(), bench::fmt(cmp.pipelined.power_uw).c_str(),
+        bench::fmt(cmp.original.throughput_mops).c_str(),
+        bench::fmt(cmp.pipelined.throughput_mops).c_str(), cmp.ta_gain, ref.ta_gain, cmp.tp_gain,
+        ref.tp_gain);
+  }
+  bench::print_rule('-', 150);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "Table II - Summary of benchmarking results (Original vs Wave-Pipelined, FO3+BUF)");
+
+  std::vector<gen::benchmark_case> circuits;
+  std::vector<pipeline_result> piped;
+  for (const auto& name : gen::table2_names()) {
+    circuits.push_back({name, gen::build_benchmark(name)});
+    piped.push_back(wave_pipeline(circuits.back().net));  // default: FO3 + BUF
+  }
+
+  const std::array<technology, 3> techs{technology::swd(), technology::qca(), technology::nml()};
+  for (unsigned t = 0; t < techs.size(); ++t) {
+    print_tech_block(techs[t], t, circuits, piped);
+  }
+  std::printf(
+      "\n'ref' columns are the paper's Table II gains. Sizes include majority\n"
+      "gates, inverters, buffers and fan-out gates after polarity optimization.\n");
+  return 0;
+}

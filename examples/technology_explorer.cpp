@@ -1,0 +1,72 @@
+// Technology explorer: sweeps the fan-out restriction limit for each of the
+// paper's technologies — and one user-defined hypothetical technology — on a
+// benchmark circuit, reporting which limit maximizes throughput per area and
+// per power. Shows how to plug custom Table-I-style cost models into the
+// metrics engine.
+//
+//   $ ./examples/technology_explorer [benchmark-name]
+
+#include <cstdio>
+#include <string>
+
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/metrics.hpp"
+#include "wavemig/pipeline.hpp"
+
+using namespace wavemig;
+
+namespace {
+
+/// A hypothetical aggressive spin-wave node: faster clock, cheaper
+/// inverters, but fan-out gates twice as expensive as majorities.
+technology hypothetical() {
+  technology t;
+  t.name = "HYP";
+  t.cell_area_um2 = 0.001;
+  t.cell_delay_ns = 0.1;
+  t.cell_energy_fj = 1e-6;
+  t.inv = {1.0, 1.0, 1.0};
+  t.maj = {4.0, 1.0, 3.0};
+  t.buf = {2.0, 1.0, 1.0};
+  t.fog = {8.0, 1.0, 6.0};
+  t.phase_delay_ns = 0.1;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "mul16";
+  const auto net = gen::build_benchmark(name);
+  std::printf("benchmark '%s': %zu components, depth %u\n\n", name.c_str(), net.num_components(),
+              compute_stats(net).depth);
+
+  for (const auto& tech :
+       {technology::swd(), technology::qca(), technology::nml(), hypothetical()}) {
+    std::printf("[%s]  limit |  components  depth |    T/A gain    T/P gain\n",
+                tech.name.c_str());
+    double best_ta = 0.0;
+    double best_tp = 0.0;
+    unsigned best_ta_limit = 0;
+    unsigned best_tp_limit = 0;
+    for (unsigned limit = 2; limit <= 5; ++limit) {
+      pipeline_options opts;
+      opts.fanout_limit = limit;
+      const auto piped = wave_pipeline(net, opts);
+      const auto cmp = compare_metrics(net, piped.net, tech);
+      std::printf("         FO%u  | %11zu  %5u | %11.2f %11.2f\n", limit,
+                  piped.final_stats.components, piped.depth_after, cmp.ta_gain, cmp.tp_gain);
+      if (cmp.ta_gain > best_ta) {
+        best_ta = cmp.ta_gain;
+        best_ta_limit = limit;
+      }
+      if (cmp.tp_gain > best_tp) {
+        best_tp = cmp.tp_gain;
+        best_tp_limit = limit;
+      }
+    }
+    std::printf("  best T/A at FO%u (%.2fx), best T/P at FO%u (%.2fx)\n\n", best_ta_limit,
+                best_ta, best_tp_limit, best_tp);
+  }
+  return 0;
+}

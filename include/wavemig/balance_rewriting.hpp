@@ -1,0 +1,26 @@
+#pragma once
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig {
+
+/// Wave-aware MIG restructuring — the extension the paper sketches in §III:
+/// "if the wave pipelining requirements were to be taken into account during
+/// the original MIG optimization, then the size of the netlists could be
+/// reduced."
+///
+/// The pass rebuilds the network applying the same majority axioms as
+/// depth_rewrite, but scores candidates lexicographically by
+/// (node level, fan-in level spread): among structures of equal depth it
+/// prefers the one whose fan-ins arrive at the most similar levels, since
+/// every level of spread later becomes balancing buffers. Combined with
+/// associativity/distributivity this trades nothing in depth for a smaller
+/// buffer bill (quantified by the `ablation_wave_aware` bench).
+struct balance_rewriting_options {
+  unsigned max_iterations{3};
+  bool allow_area_increase{true};
+};
+
+mig_network balance_rewrite(const mig_network& net, const balance_rewriting_options& options = {});
+
+}  // namespace wavemig

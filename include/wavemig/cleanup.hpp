@@ -1,0 +1,14 @@
+#pragma once
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig {
+
+/// Rebuilds the network keeping only nodes reachable from the primary
+/// outputs. All PIs are preserved (with names and order) even when unused,
+/// so the PI/PO interface of the circuit never changes. Majority gates are
+/// re-canonicalized on the way, which can merge nodes that became
+/// structurally equal. Buffers and fan-out gates are copied verbatim.
+mig_network cleanup_dangling(const mig_network& net);
+
+}  // namespace wavemig

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig {
+
+/// Options for algebraic MIG depth rewriting.
+struct depth_rewriting_options {
+  /// Maximum number of full rewriting sweeps; each sweep rebuilds the
+  /// network. Iteration stops early once the depth no longer improves.
+  unsigned max_iterations{10};
+  /// Allow the distributivity rule, which trades one duplicated gate for a
+  /// level (the L→R majority distributivity of [16]). When false only the
+  /// area-neutral associativity rules are applied.
+  bool allow_area_increase{true};
+};
+
+/// Algebraic depth optimization over the majority axioms Ω of [14]–[16]:
+/// associativity  M(x, u, M(y, u, z)) = M(z, u, M(y, u, x)) and
+/// distributivity M(x, y, M(u, v, z)) = M(M(x,y,u), M(x,y,v), z),
+/// applied where they provably reduce the level of the rebuilt node.
+/// The paper assumes its input netlists are "already optimized for depth";
+/// this pass provides that precondition for generated benchmarks.
+///
+/// The result is functionally equivalent to the input (asserted in tests);
+/// PI/PO interface is preserved.
+mig_network depth_rewrite(const mig_network& net, const depth_rewriting_options& options = {});
+
+}  // namespace wavemig

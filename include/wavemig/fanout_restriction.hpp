@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig {
+
+struct fanout_restriction_options {
+  /// Fan-out capability of a fan-out gate (the paper's restriction value,
+  /// 2..5 in §IV; a FOG with limit 3 is "a reversed majority node").
+  unsigned limit{3};
+  /// Stretch taps that arrive earlier than the consumer can absorb with
+  /// buffers, so no residual path "jumps through graph levels" (the BUF in
+  /// the paper's Fig. 6b). Disable for the ablation bench.
+  bool fill_residual{true};
+};
+
+struct fanout_restriction_result {
+  mig_network net;
+  std::size_t fogs_added{0};
+  std::size_t buffers_added{0};
+  /// Consumer edges whose tap sits deeper than the consumer could absorb;
+  /// these are the paper's "delayed nodes" and the source of the
+  /// critical-path growth of Fig. 7.
+  std::size_t delayed_edges{0};
+  std::uint32_t depth_before{0};
+  std::uint32_t depth_after{0};
+};
+
+/// Limits the fan-out of every component for beyond-CMOS feasibility (§IV).
+///
+/// Physical model (validated against the paper's Figs. 6 and 8): every
+/// component and primary input natively drives a single consumer; fanning a
+/// signal out to m ≥ 2 consumers requires a tree of fan-out gates (FOG),
+/// each with `limit` output ports. The minimum FOG count per driver is
+/// ⌈(m−1)/(limit−1)⌉, which this pass achieves. FOGs are placed as shallow
+/// as possible (BFS), then consumer edges are assigned to tree ports in
+/// deadline order: consumers that can absorb tree depth for free (their
+/// level is dominated by another fan-in) take the deep ports, critical
+/// consumers take the shallow ports, and any consumer forced beyond its
+/// deadline becomes a delayed node whose level increase propagates.
+///
+/// The pass is idempotent: FOGs already driving at most `limit` consumers
+/// and single-consumer components are left untouched.
+fanout_restriction_result restrict_fanout(const mig_network& net,
+                                          const fanout_restriction_options& options = {});
+
+}  // namespace wavemig

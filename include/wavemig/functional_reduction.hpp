@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig {
+
+struct functional_reduction_options {
+  /// Maximum cut width (leaf count); 16-bit truth tables cap this at 4.
+  unsigned cut_size{4};
+  /// Maximum cuts kept per node (smallest-leaf-count first).
+  unsigned cuts_per_node{8};
+};
+
+struct functional_reduction_result {
+  mig_network net;
+  /// Majority gates removed by merging equivalent cones.
+  std::size_t merged_gates{0};
+};
+
+/// Cut-based functional reduction: enumerates k-feasible cuts with their
+/// local truth tables (bottom-up merging, like classic FRAIG/cut-rewriting
+/// engines) and merges any two nodes that realize the same function — up to
+/// complement — over the same cut leaves. Catches redundancies that
+/// structural hashing cannot, e.g. `(a&b) | ((a|b)&c)` merging with
+/// `M(a,b,c)`. Functionally equivalent by construction (two cones with equal
+/// truth tables over identical leaves compute the same signal); verified by
+/// randomized tests.
+functional_reduction_result reduce_functionally(const mig_network& net,
+                                                const functional_reduction_options& options = {});
+
+}  // namespace wavemig

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig::gen {
+
+/// Little-endian vector of signals (bit 0 first). The word-level helpers
+/// below are the building blocks of the arithmetic benchmark circuits and
+/// are part of the public API (see examples/).
+using word = std::vector<signal>;
+
+/// Creates `width` primary inputs named `prefix0..prefix<width-1>`.
+word make_input_word(mig_network& net, unsigned width, const std::string& prefix);
+
+/// Registers one primary output per bit, named `prefix0..`.
+void make_output_word(mig_network& net, const word& bits, const std::string& prefix);
+
+/// Ripple-carry addition; returns `width` sum bits and the carry-out.
+/// Each stage is the 3-majority-gate full adder (carry = M(a,b,c)).
+std::pair<word, signal> add_ripple(mig_network& net, const word& a, const word& b, signal carry_in);
+
+/// Two's-complement subtraction a - b (ripple borrow); returns difference
+/// bits and the final carry (1 = no borrow, i.e. a >= b for unsigned).
+std::pair<word, signal> sub_ripple(mig_network& net, const word& a, const word& b);
+
+/// Unsigned array multiplier; returns 2*width product bits.
+word multiply_array(mig_network& net, const word& a, const word& b);
+
+/// Unsigned comparison a < b via the borrow chain.
+signal less_than(mig_network& net, const word& a, const word& b);
+/// Equality comparator (XNOR reduction).
+signal equals(mig_network& net, const word& a, const word& b);
+
+/// Word-level multiplexer sel ? t : e (per-bit).
+word mux_word(mig_network& net, signal sel, const word& t, const word& e);
+
+/// XOR reduction of all bits (odd parity).
+signal parity(mig_network& net, const word& bits);
+
+/// Population count as a binary word, built from full-adder compressors.
+word popcount(mig_network& net, const word& bits);
+
+/// @name Complete benchmark circuits (each constructs PIs/POs internally)
+/// @{
+
+/// w-bit ripple-carry adder: PIs a, b; POs sum, carry-out. Depth ~ w.
+mig_network ripple_adder_circuit(unsigned width);
+
+/// w x w array multiplier: PIs a, b; POs p (2w bits). Depth ~ 2w.
+mig_network multiplier_circuit(unsigned width);
+
+/// Multiply-accumulate a*b + c.
+mig_network mac_circuit(unsigned width);
+
+/// Hamming distance of two w-bit words: XOR + sequential accumulation,
+/// deliberately depth-heavy like the paper's HAMMING benchmark.
+mig_network hamming_distance_circuit(unsigned width);
+
+/// Hamming(2^p - 1, 2^p - 1 - p) single-error-correcting codec: encodes the
+/// data PIs, XORs in an error mask, decodes the syndrome and corrects;
+/// POs are the corrected data word. `parity_bits` = p (e.g. 4 -> (15,11)).
+mig_network hamming_codec_circuit(unsigned parity_bits);
+
+/// XOR-reduction parity of `width` inputs.
+mig_network parity_circuit(unsigned width);
+
+/// Unsigned 1-bit outputs lt/eq/gt of two w-bit words.
+mig_network comparator_circuit(unsigned width);
+
+/// Maximum of `ways` w-bit inputs (comparator + mux tree), like EPFL `max`.
+mig_network max_circuit(unsigned width, unsigned ways);
+
+/// HLS `diffeq` Euler integrator step:
+///   x' = x + dx;  y' = y + u*dx;  u' = u - 3*x*u*dx - 3*y*dx
+/// with all operands `width` bits wide (truncated arithmetic). Five chained
+/// multipliers make this the deepest suite circuit, like the paper's DIFFEQ1.
+mig_network diffeq_circuit(unsigned width);
+
+/// Converts a w-bit unsigned int to a small float (leading-one detection +
+/// normalizing shift), like EPFL `int2float`.
+mig_network int2float_circuit(unsigned width);
+
+/// @}
+
+}  // namespace wavemig::gen

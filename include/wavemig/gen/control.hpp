@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig::gen {
+
+/// Parameters of a controller-style random-logic block: shallow, wide,
+/// multi-output sum-of-products logic plus decoded state feedback, the
+/// structural profile of the OpenCores-style control benchmarks (SASC, I2C,
+/// SPI, memory/bus controllers) used in the paper's suite.
+struct control_profile {
+  unsigned inputs{16};
+  unsigned outputs{12};
+  /// Product terms per output (sparse cubes over the inputs).
+  unsigned cubes_per_output{8};
+  /// Maximum literals per cube; each cube draws its width from
+  /// [2, literals_per_cube], so the OR plane combines cubes of different
+  /// depths — the level-jumping irregularity of real controller netlists
+  /// that drives the paper's buffer counts (Fig. 5).
+  unsigned literals_per_cube{6};
+  /// State bits decoded into one-hot lines mixed into the cubes (0 = none).
+  unsigned state_bits{3};
+  std::uint64_t seed{1};
+};
+
+/// Builds a deterministic controller-style circuit from the profile.
+mig_network control_circuit(const control_profile& profile);
+
+/// Next-state logic of a random Moore FSM: `state_bits` state inputs and
+/// `input_bits` condition inputs; outputs are the next-state bits, each an
+/// exactly synthesized random truth table (Shannon decomposition). Requires
+/// state_bits + input_bits <= 16.
+mig_network fsm_circuit(unsigned state_bits, unsigned input_bits, std::uint64_t seed);
+
+}  // namespace wavemig::gen

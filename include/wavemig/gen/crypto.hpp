@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig::gen {
+
+/// The eight standard DES substitution boxes (publicly specified in FIPS
+/// 46-3): `des_sbox(box)[row][col]` with 6-bit input split as
+/// row = {b5,b0}, col = {b4..b1}.
+const std::array<std::array<std::uint8_t, 16>, 4>& des_sbox(unsigned box);
+
+/// Applies S-box `box` to six input signals (b0 = LSB of the 6-bit input);
+/// returns the four output bits (LSB first). Synthesized by Shannon
+/// decomposition with cofactor sharing.
+std::array<signal, 4> des_sbox_network(mig_network& net, const std::array<signal, 6>& in,
+                                       unsigned box);
+
+/// DES-style Feistel network over a 64-bit block with `rounds` rounds:
+/// expansion E, key mixing, the eight standard S-boxes and permutation P per
+/// round. PIs: 64 block bits + 48 key bits per round slice drawn from a
+/// 64-bit round key input by rotation. POs: 64 output bits. `rounds` = 4
+/// approximates the size of the paper's DES_AREA benchmark.
+mig_network des_circuit(unsigned rounds);
+
+/// Reversible Toffoli/CNOT/NOT cascade on `lines` wires with `gates` gates
+/// (seeded, deterministic), mapped to majority logic; mirrors the deep and
+/// narrow REVX benchmark. POs are the final wire values.
+mig_network reversible_cascade_circuit(unsigned lines, unsigned gates, std::uint64_t seed);
+
+/// One CRC step over `data_bits` message bits with the CRC-32 polynomial
+/// (XOR-tree update of a 32-bit register).
+mig_network crc32_circuit(unsigned data_bits);
+
+}  // namespace wavemig::gen

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig::gen {
+
+/// Majority voter over `inputs` (odd) single-bit inputs: popcount plus a
+/// threshold comparison — the natural MIG benchmark (EPFL `voter`).
+mig_network voter_circuit(unsigned inputs);
+
+/// Logarithmic barrel shifter: `width`-bit value (width a power of two),
+/// log2(width) shift-amount bits, left-rotating mux layers (EPFL `bar`).
+mig_network barrel_shifter_circuit(unsigned width);
+
+/// Full `bits` -> 2^bits decoder (EPFL `dec`).
+mig_network decoder_circuit(unsigned bits);
+
+/// Priority encoder over `width` request lines: index of the highest
+/// asserted line plus a valid flag (EPFL `priority`).
+mig_network priority_encoder_circuit(unsigned width);
+
+/// Round-robin-style arbiter: `width` request lines and a log2 grant pointer
+/// input; outputs one-hot grants (EPFL `arbiter`, simplified).
+mig_network arbiter_circuit(unsigned width);
+
+}  // namespace wavemig::gen

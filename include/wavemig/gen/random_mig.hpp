@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig::gen {
+
+/// Parameters of a seeded random MIG. `locality` biases fan-in selection
+/// toward recently created nodes: 0 draws uniformly over all existing
+/// signals (shallow, highly shared DAGs); values toward 1 draw mostly from a
+/// recent window (deep, chain-like DAGs).
+struct random_mig_profile {
+  unsigned inputs{32};
+  unsigned gates{1000};
+  double locality{0.5};
+  unsigned outputs{32};
+  std::uint64_t seed{42};
+};
+
+/// Deterministic random majority network. Gates draw three distinct fan-ins
+/// with random complements; primary outputs prefer dangling nodes so that
+/// the whole DAG stays live after cleanup.
+mig_network random_mig(const random_mig_profile& profile);
+
+}  // namespace wavemig::gen

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig::gen {
+
+/// One suite circuit.
+struct benchmark_case {
+  std::string name;
+  mig_network net;
+};
+
+/// Names of the 37 suite benchmarks (the reproduction stand-in for the MIG
+/// benchmarks of [16]; see DESIGN.md §1 "Substitutions"). Deterministic
+/// order; includes the seven circuits named in the paper's Table II:
+/// sasc, des_area, mul32, hamming, mul64, revx, diffeq1.
+const std::vector<std::string>& benchmark_names();
+
+/// Names of the seven Table II circuits, in the paper's row order.
+const std::vector<std::string>& table2_names();
+
+/// Builds a single benchmark by name; throws std::invalid_argument for
+/// unknown names.
+mig_network build_benchmark(const std::string& name);
+
+/// Builds the complete 37-circuit suite (deterministic).
+std::vector<benchmark_case> build_suite();
+
+}  // namespace wavemig::gen

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig {
+
+/// Longest-path levels of a network (the paper's base-distance maxima):
+/// PIs sit at level 0 and every component (majority gate, buffer, fan-out
+/// gate) contributes one level. Constant fan-ins carry no data wave and are
+/// ignored (§2.1 of DESIGN.md); a component whose non-constant fan-ins are
+/// all PIs sits at level 1.
+struct level_map {
+  std::vector<std::uint32_t> level;  ///< per node index
+  std::uint32_t depth{0};            ///< max level over all PO drivers
+
+  [[nodiscard]] std::uint32_t operator[](node_index n) const { return level[n]; }
+};
+
+/// Computes levels in one forward pass (node index order is topological).
+level_map compute_levels(const mig_network& net);
+
+/// Maximum exclusive base distance of a node: one level below the node's own
+/// level, i.e. the depth of its deepest non-constant fan-in. Defined for
+/// components; returns 0 for PIs/constants.
+std::uint32_t max_exclusive_base_distance(const mig_network& net, const level_map& levels,
+                                          node_index n);
+
+/// Fan-out structure of a network. For each driver node, lists every
+/// consumer fan-in slot and every primary output it feeds. A slot is a
+/// physical connection: a node consuming the same driver through several
+/// fan-in positions occupies several slots.
+struct fanout_map {
+  static constexpr node_index po_consumer = std::numeric_limits<node_index>::max();
+
+  struct edge {
+    node_index consumer;  ///< consuming node, or `po_consumer` for an output
+    std::uint32_t slot;   ///< fan-in position, or PO position for outputs
+  };
+
+  std::vector<std::vector<edge>> edges;  ///< indexed by driver node
+
+  /// Number of physical consumer connections of `n` (gate slots + POs).
+  [[nodiscard]] std::size_t degree(node_index n) const { return edges[n].size(); }
+};
+
+/// Computes the fan-out map. Constant drivers are given empty edge lists:
+/// constants are gate-internal biases, not routed signals.
+fanout_map compute_fanouts(const mig_network& net);
+
+/// Maximum fan-out degree over all non-constant nodes.
+std::size_t max_fanout_degree(const mig_network& net);
+
+/// Basic structural statistics used throughout benches and reports.
+struct network_stats {
+  std::size_t pis{0};
+  std::size_t pos{0};
+  std::size_t majorities{0};
+  std::size_t buffers{0};
+  std::size_t fanout_gates{0};
+  std::size_t components{0};  ///< majorities + buffers + fanout gates
+  std::uint32_t depth{0};
+  std::size_t max_fanout{0};
+};
+
+network_stats compute_stats(const mig_network& net);
+
+}  // namespace wavemig

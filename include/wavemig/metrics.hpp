@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+
+#include "wavemig/mig.hpp"
+#include "wavemig/technology.hpp"
+
+namespace wavemig {
+
+/// Physical component inventory of a netlist: majority gates, buffers,
+/// fan-out gates, and inverters. Inverters are complemented non-constant
+/// edges after greedy polarity optimization (see inverter_optimization.hpp),
+/// matching the paper's component accounting where inversion is an edge
+/// attribute realized by dedicated INV cells.
+struct component_inventory {
+  std::size_t majorities{0};
+  std::size_t buffers{0};
+  std::size_t fanout_gates{0};
+  std::size_t inverters{0};
+  std::size_t outputs{0};
+
+  [[nodiscard]] std::size_t total() const {
+    return majorities + buffers + fanout_gates + inverters;
+  }
+};
+
+component_inventory count_components(const mig_network& net, bool optimize_polarity = true);
+
+/// Evaluation of one netlist on one technology, following the paper's §V
+/// formulas (reverse-engineered from Table II; DESIGN.md §2.4):
+///   area       = cell_area x Σ relative area
+///   energy/op  = cell_energy x Σ relative energy (+ sense amps per PO)
+///   latency    = depth x phase_delay
+///   throughput = 1/latency (non-pipelined) or 1/(phases x phase_delay)
+///   power      = energy/op / latency   (the paper's model — it decreases
+///                when latency grows faster than energy, the "artifact"
+///                discussed in §V; see `power_steady_state_uw` for the
+///                all-waves-active alternative)
+struct circuit_metrics {
+  component_inventory components;
+  std::uint32_t depth{0};
+  double area_um2{0.0};
+  double energy_per_op_fj{0.0};
+  double latency_ns{0.0};
+  double throughput_mops{0.0};
+  double power_uw{0.0};
+  double power_steady_state_uw{0.0};
+  /// Waves in flight: 1 for non-pipelined, ceil(depth/phases) when
+  /// wave-pipelined.
+  std::uint32_t waves_in_flight{1};
+
+  [[nodiscard]] double throughput_per_area() const { return throughput_mops / area_um2; }
+  [[nodiscard]] double throughput_per_power() const { return throughput_mops / power_uw; }
+};
+
+/// Computes metrics for a netlist. `wave_pipelined` selects the throughput
+/// model; `phases` is the wave-clock phase count (3 in the paper).
+circuit_metrics compute_metrics(const mig_network& net, const technology& tech,
+                                bool wave_pipelined, unsigned phases = 3);
+
+/// Original-vs-wave-pipelined comparison (one row of Table II).
+struct pipeline_comparison {
+  circuit_metrics original;
+  circuit_metrics pipelined;
+  /// Normalized (T/A) gain: (T_wp/A_wp) / (T_orig/A_orig).
+  double ta_gain{0.0};
+  /// Normalized (T/P) gain: (T_wp/P_wp) / (T_orig/P_orig).
+  double tp_gain{0.0};
+};
+
+pipeline_comparison compare_metrics(const mig_network& original, const mig_network& pipelined,
+                                    const technology& tech, unsigned phases = 3);
+
+}  // namespace wavemig

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/fanout_restriction.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/mig.hpp"
+
+namespace wavemig {
+
+/// Options of the complete wave-pipelining enablement flow: optional fan-out
+/// restriction (§IV) followed by path-balancing buffer insertion (§III),
+/// matching the paper's "FOx + BUF" composition order ("it has to be
+/// performed before the buffer insertion algorithm").
+struct pipeline_options {
+  /// Fan-out restriction limit; nullopt skips the restriction pass
+  /// (technology with unlimited fan-out).
+  std::optional<unsigned> fanout_limit{3};
+  /// Stretch early FOG-tree taps with buffers (see fanout_restriction).
+  bool fill_residual{true};
+  /// Run the balancing pass. Disable to study fan-out restriction alone.
+  bool insert_buffers{true};
+  /// Buffer organization (paper: shared chains).
+  buffer_strategy strategy{buffer_strategy::chain};
+  /// When a fanout limit is set, balance with capacity-aware buffer trees so
+  /// the final netlist respects the limit on every vertex, including chain
+  /// taps. When false the paper-literal chains are used even after
+  /// restriction.
+  bool respect_limit_in_buffers{true};
+  /// Level scheduling for the balancing pass (see scheduling.hpp).
+  schedule_policy schedule{schedule_policy::asap};
+};
+
+struct pipeline_result {
+  mig_network net;
+  network_stats original_stats;
+  network_stats final_stats;
+  std::size_t fogs_added{0};
+  std::size_t restriction_buffers_added{0};
+  std::size_t balance_buffers_added{0};
+  std::size_t delayed_edges{0};
+  std::uint32_t depth_before{0};
+  std::uint32_t depth_after{0};
+  /// check_wave_readiness(net).ready — true whenever buffers were inserted.
+  bool wave_ready{false};
+};
+
+/// Runs the full enablement flow and gathers the statistics reported in the
+/// paper's Figs. 5, 7, 8 and Table II.
+pipeline_result wave_pipeline(const mig_network& net, const pipeline_options& options = {});
+
+}  // namespace wavemig

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace wavemig {
+
+/// Index of a node inside a mig_network. Node 0 is always the constant node.
+using node_index = std::uint32_t;
+
+/// A signal references a network node together with an optional complement
+/// attribute. In a Majority-Inverter Graph, inversion lives on edges rather
+/// than on nodes, so a signal is the unit that fan-ins, primary outputs and
+/// all construction APIs traffic in.
+///
+/// The representation packs (index, complemented) into 32 bits: bit 0 holds
+/// the complement, the remaining 31 bits hold the node index.
+class signal {
+public:
+  constexpr signal() = default;
+
+  constexpr signal(node_index index, bool complemented)
+      : data_{(index << 1u) | static_cast<std::uint32_t>(complemented)} {}
+
+  /// Node referenced by this signal.
+  [[nodiscard]] constexpr node_index index() const { return data_ >> 1u; }
+
+  /// True if the edge carries an inversion.
+  [[nodiscard]] constexpr bool is_complemented() const { return (data_ & 1u) != 0u; }
+
+  /// Raw packed value; defines a deterministic total order used for
+  /// canonicalization and structural hashing.
+  [[nodiscard]] constexpr std::uint32_t raw() const { return data_; }
+
+  /// Complemented copy of this signal.
+  [[nodiscard]] constexpr signal operator!() const { return from_raw(data_ ^ 1u); }
+
+  /// Copy of this signal with the complement attribute cleared.
+  [[nodiscard]] constexpr signal without_complement() const { return from_raw(data_ & ~1u); }
+
+  /// Copy of this signal with the complement attribute xor-ed in.
+  [[nodiscard]] constexpr signal complement_if(bool c) const {
+    return from_raw(data_ ^ static_cast<std::uint32_t>(c));
+  }
+
+  friend constexpr bool operator==(signal a, signal b) { return a.data_ == b.data_; }
+  friend constexpr bool operator!=(signal a, signal b) { return a.data_ != b.data_; }
+  friend constexpr bool operator<(signal a, signal b) { return a.data_ < b.data_; }
+
+  static constexpr signal from_raw(std::uint32_t raw) {
+    signal s;
+    s.data_ = raw;
+    return s;
+  }
+
+private:
+  std::uint32_t data_{0};
+};
+
+/// The constant-0 signal (node 0, regular edge).
+inline constexpr signal constant0{0, false};
+/// The constant-1 signal (node 0, complemented edge).
+inline constexpr signal constant1{0, true};
+
+}  // namespace wavemig
+
+template <>
+struct std::hash<wavemig::signal> {
+  std::size_t operator()(wavemig::signal s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.raw());
+  }
+};

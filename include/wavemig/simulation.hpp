@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wavemig/mig.hpp"
+#include "wavemig/truth_table.hpp"
+
+namespace wavemig {
+
+/// Evaluates the network on 64 input patterns at once: `pi_words[i]` packs 64
+/// values of PI i. Returns one word per primary output. Buffers and fan-out
+/// gates are transparent (combinational view).
+std::vector<std::uint64_t> simulate_words(const mig_network& net,
+                                          const std::vector<std::uint64_t>& pi_words);
+
+/// Exact truth table of every primary output; requires num_pis() <= 20.
+std::vector<truth_table> simulate_truth_tables(const mig_network& net);
+
+/// Evaluates a single input assignment (bit i = value of PI i).
+std::vector<bool> simulate_pattern(const mig_network& net, const std::vector<bool>& inputs);
+
+/// Checks combinational equivalence of two networks with identical PI/PO
+/// counts. Uses exact truth tables when the input count is at most
+/// `exact_limit`, otherwise `rounds` rounds of 64 random patterns seeded
+/// deterministically (a sound-but-incomplete random check; the wave-pipelining
+/// passes under test only ever add identity components, so random patterns
+/// catch structural wiring errors reliably).
+bool functionally_equivalent(const mig_network& a, const mig_network& b, unsigned rounds = 16,
+                             std::uint64_t seed = 0x9E3779B97F4A7C15ull, unsigned exact_limit = 12);
+
+}  // namespace wavemig

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wavemig {
+
+/// Result of fitting y = coefficient * x^exponent by least squares in
+/// log-log space (the trend line of the paper's Fig. 5).
+struct power_law_fit {
+  double coefficient{0.0};
+  double exponent{0.0};
+  /// Coefficient of determination of the fit in log space.
+  double r_squared{0.0};
+
+  /// Evaluates the fitted model at x.
+  [[nodiscard]] double operator()(double x) const;
+};
+
+/// Fits y = c * x^e over strictly positive samples. Pairs with a
+/// non-positive coordinate are skipped. Requires at least two usable points.
+power_law_fit fit_power_law(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Arithmetic mean; returns 0 for an empty range.
+double mean(const std::vector<double>& values);
+
+/// Geometric mean over strictly positive values; returns 0 if empty.
+double geometric_mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); returns 0 for fewer than two
+/// samples.
+double sample_stddev(const std::vector<double>& values);
+
+}  // namespace wavemig

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+
+#include "wavemig/mig.hpp"
+#include "wavemig/truth_table.hpp"
+
+namespace wavemig {
+
+/// Synthesizes an arbitrary truth table over `inputs` into majority logic by
+/// recursive Shannon decomposition (top variable first) with structural
+/// sharing of common cofactors. Constant and single-literal cofactors
+/// terminate the recursion; each decomposition step costs one multiplexer
+/// (three majority gates before hashing).
+///
+/// `inputs.size()` must equal `tt.num_vars()`. Used by the S-box and control
+/// generators and by the BLIF reader.
+signal synthesize_truth_table(mig_network& net, const truth_table& tt,
+                              std::span<const signal> inputs);
+
+}  // namespace wavemig

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+namespace wavemig {
+
+/// Relative cost of one component type in units of the technology cell
+/// (the "Relative values" columns of the paper's Table I).
+struct component_costs {
+  double area{1.0};
+  double delay{1.0};
+  double energy{1.0};
+};
+
+/// A beyond-CMOS technology model: cell constants plus relative component
+/// costs (Table I) and the wave-clock phase delay that Table II's throughput
+/// columns imply.
+///
+/// Power model note (§V): the paper computes power as energy-per-operation
+/// divided by circuit latency and states that for SWD a "power dominant
+/// sense amplifier" is included; Table II's SWD T/P ratios equal d_wp/3
+/// exactly, which pins the SWD energy to the per-output sense amplifiers.
+/// `sense_amp_energy_fj` models that per-output readout cost (zero for QCA
+/// and NML).
+struct technology {
+  std::string name;
+
+  double cell_area_um2{0.0};
+  double cell_delay_ns{0.0};
+  double cell_energy_fj{0.0};
+
+  component_costs inv;
+  component_costs maj;
+  component_costs buf;
+  component_costs fog;
+
+  /// Duration of one wave-clock phase in ns. One level of logic advances per
+  /// phase; a wave-pipelined circuit accepts a new wave every `phases`
+  /// (default 3) phase ticks. Values implied by Table II: 0.42 ns (SWD),
+  /// 0.004 ns (QCA), 20 ns (NML).
+  double phase_delay_ns{1.0};
+
+  /// Per-primary-output readout energy (fJ); dominant for SWD.
+  double sense_amp_energy_fj{0.0};
+
+  /// Spin Wave Devices — constants from Table I ([22]).
+  static technology swd();
+  /// Quantum-dot Cellular Automata — constants from Table I ([12]).
+  static technology qca();
+  /// NanoMagnetic Logic — constants from Table I ([11], [24]).
+  static technology nml();
+};
+
+}  // namespace wavemig

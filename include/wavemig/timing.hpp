@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+
+#include "wavemig/mig.hpp"
+#include "wavemig/technology.hpp"
+
+namespace wavemig {
+
+/// Stage-timing analysis of a wave-pipelined netlist.
+///
+/// The paper's throughput model advances one level per clock phase of a
+/// fixed duration (technology::phase_delay_ns) and treats inverters as free
+/// edge attributes. Physically every stage must complete within one phase:
+/// a component with relative delay d fed through an edge inverter (relative
+/// delay d_inv) needs (d + d_inv) x cell_delay. For QCA — whose inverter is
+/// 3.5x slower than its majority gate — the paper's 4 ps phase is optimistic
+/// wherever inverters survive polarity optimization. This module computes
+/// the real per-stage requirement and the throughput it implies.
+struct timing_report {
+  /// Worst stage delay: cell_delay x max over components of
+  /// (component relative delay + inverter relative delay if any fan-in edge
+  /// of that component carries a physical inverter).
+  double required_phase_delay_ns{0.0};
+  /// The technology's assumed phase delay (Table II's implied constant).
+  double assumed_phase_delay_ns{0.0};
+  /// assumed / required; below 1 the paper's clock is optimistic for this
+  /// netlist and technology.
+  double slack_ratio{0.0};
+  /// Node index of the slowest stage.
+  node_index critical_node{0};
+  /// True when the critical stage includes an edge inverter.
+  bool critical_has_inverter{false};
+  /// 1 / (phases x required phase delay), in MOPS — the coherent
+  /// wave-pipelined throughput under the real stage timing.
+  double effective_wp_throughput_mops{0.0};
+};
+
+/// Analyzes stage timing. With `optimize_polarity` the inverter placement of
+/// optimize_inverters() is used (the best case); otherwise every complemented
+/// edge counts as a physical inverter.
+timing_report analyze_stage_timing(const mig_network& net, const technology& tech,
+                                   unsigned phases = 3, bool optimize_polarity = true);
+
+}  // namespace wavemig

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wavemig {
+
+/// Dynamically sized truth table over up to 20 variables, stored as packed
+/// 64-bit words. Bit i of the table is the function value on the input
+/// assignment whose binary encoding is i (variable 0 is the least
+/// significant input bit).
+///
+/// Used for exact equivalence checks of small functions (S-boxes, adders,
+/// generated control logic) and as the reference model in tests.
+class truth_table {
+public:
+  /// Constructs the constant-0 table over `num_vars` variables.
+  explicit truth_table(unsigned num_vars);
+
+  [[nodiscard]] unsigned num_vars() const { return num_vars_; }
+  [[nodiscard]] std::uint64_t num_bits() const { return std::uint64_t{1} << num_vars_; }
+
+  [[nodiscard]] bool get_bit(std::uint64_t position) const;
+  void set_bit(std::uint64_t position, bool value);
+
+  /// Projection table of variable `var`: f(x) = x_var.
+  static truth_table nth_var(unsigned num_vars, unsigned var);
+  /// Constant function.
+  static truth_table constant(unsigned num_vars, bool value);
+
+  [[nodiscard]] truth_table operator~() const;
+  [[nodiscard]] truth_table operator&(const truth_table& other) const;
+  [[nodiscard]] truth_table operator|(const truth_table& other) const;
+  [[nodiscard]] truth_table operator^(const truth_table& other) const;
+
+  /// Ternary majority, the MIG primitive.
+  static truth_table maj(const truth_table& a, const truth_table& b, const truth_table& c);
+
+  /// If-then-else on a selector table.
+  static truth_table ite(const truth_table& sel, const truth_table& then_tt,
+                         const truth_table& else_tt);
+
+  friend bool operator==(const truth_table& a, const truth_table& b);
+  friend bool operator!=(const truth_table& a, const truth_table& b) { return !(a == b); }
+
+  /// Number of one-bits (needed e.g. to check that MAJ-of-n voter counts).
+  [[nodiscard]] std::uint64_t count_ones() const;
+
+  /// Hexadecimal string, most significant word first (like mockturtle/abc).
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Direct access to the packed words (low words first).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
+
+private:
+  void mask_top_word();
+
+  unsigned num_vars_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wavemig

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wavemig/levels.hpp"
+#include "wavemig/mig.hpp"
+
+namespace wavemig {
+
+/// Result of streaming data waves through a netlist under the multi-phase
+/// regeneration clock of the paper's Fig. 4.
+struct wave_run_result {
+  /// Per wave, the sampled primary-output values.
+  std::vector<std::vector<bool>> outputs;
+  /// Total clock ticks executed.
+  std::uint64_t ticks{0};
+  /// Ticks from injecting a wave to sampling it at the outputs.
+  std::uint32_t latency_ticks{0};
+  /// Ticks between successive wave injections (= number of clock phases).
+  std::uint32_t initiation_interval{0};
+  /// The paper's N = d / phases: waves simultaneously in flight.
+  std::uint32_t waves_in_flight{0};
+};
+
+/// Cycle-accurate wave-pipelining simulation.
+///
+/// Clocking model: components at level l belong to clock phase
+/// (l − 1) mod `phases`; tick t fires phase (t mod `phases`), and every
+/// fired component synchronously latches the majority/identity of its
+/// fan-ins' pre-tick values (non-volatile cells hold their value between
+/// firings). A new input wave is presented every `phases` ticks; wave w is
+/// sampled at each output when its driver latches it.
+///
+/// On a wave-ready netlist (see check_wave_readiness) every wave's outputs
+/// equal the combinational evaluation of that wave's inputs. On an
+/// unbalanced netlist adjacent waves interfere — the motivation for the
+/// paper's buffer-insertion algorithm; tests and examples demonstrate both.
+///
+/// `waves[w]` holds one bool per primary input. `phases` must be >= 1.
+wave_run_result run_waves(const mig_network& net, const std::vector<std::vector<bool>>& waves,
+                          unsigned phases = 3);
+
+/// Same, clocking components by an explicit schedule instead of ASAP levels.
+/// Required for tolerance-balanced netlists, whose coherence holds only
+/// under the schedule returned by buffer insertion (see
+/// buffer_insertion_options::tolerance).
+wave_run_result run_waves(const mig_network& net, const std::vector<std::vector<bool>>& waves,
+                          unsigned phases, const level_map& schedule);
+
+}  // namespace wavemig

@@ -1,0 +1,237 @@
+#include "wavemig/buffer_insertion.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "wavemig/levels.hpp"
+
+namespace wavemig {
+
+namespace {
+
+/// Key identifying one physical consumer connection of a driver: either a
+/// fan-in slot of a node or a primary-output position.
+std::uint64_t edge_key(node_index consumer, std::uint32_t slot) {
+  return (static_cast<std::uint64_t>(consumer) << 32) | slot;
+}
+
+class balance_builder {
+public:
+  balance_builder(const mig_network& old_net, const buffer_insertion_options& options)
+      : old_{old_net},
+        options_{options},
+        levels_{compute_schedule(old_net, options.schedule)},
+        fanouts_{compute_fanouts(old_net)} {}
+
+  buffer_insertion_result run() {
+    buffer_insertion_result result;
+    result.depth_before = levels_.depth;
+
+    std::vector<signal> map(old_.num_nodes(), constant0);
+    old_.foreach_node([&](node_index n) {
+      switch (old_.kind(n)) {
+        case node_kind::constant:
+          return;
+        case node_kind::primary_input:
+          map[n] = new_net_.create_pi(old_.pi_name(old_.pi_position(n)));
+          break;
+        case node_kind::majority: {
+          const auto fis = old_.fanins(n);
+          map[n] = new_net_.create_maj(tap_for(n, 0, fis[0]), tap_for(n, 1, fis[1]),
+                                       tap_for(n, 2, fis[2]));
+          break;
+        }
+        case node_kind::buffer:
+          map[n] = new_net_.create_buffer(tap_for(n, 0, old_.fanins(n)[0]));
+          break;
+        case node_kind::fanout:
+          map[n] = new_net_.create_fanout(tap_for(n, 0, old_.fanins(n)[0]));
+          break;
+      }
+      record_schedule(map[n], levels_[n]);
+      plan_driver(n, map[n]);
+    });
+
+    for (std::uint32_t position = 0; position < old_.num_pos(); ++position) {
+      const signal driver = old_.po_signal(position);
+      signal s;
+      if (old_.is_constant(driver.index())) {
+        s = driver;  // constant outputs carry no wave; no padding needed
+      } else {
+        s = taps_.at(edge_key(fanout_map::po_consumer, position))
+                .complement_if(driver.is_complemented());
+      }
+      new_net_.create_po(s, old_.po_name(position));
+    }
+
+    result.buffers_added = new_net_.num_buffers() - old_.num_buffers();
+    result.depth_after = compute_levels(new_net_).depth;
+
+    schedule_.resize(new_net_.num_nodes(), 0);
+    result.schedule.level = std::move(schedule_);
+    result.schedule.depth = 0;
+    for (const auto& po : new_net_.pos()) {
+      if (!new_net_.is_constant(po.driver.index())) {
+        result.schedule.depth =
+            std::max(result.schedule.depth, result.schedule.level[po.driver.index()]);
+      }
+    }
+    result.net = std::move(new_net_);
+    return result;
+  }
+
+private:
+  /// Required number of buffers on one consumer edge of driver `n`:
+  /// the scheduled gap, reduced by the coherence tolerance (cells hold their
+  /// value long enough to bridge `tolerance` extra levels).
+  std::uint32_t gap_of(node_index n, const fanout_map::edge& e) const {
+    std::uint32_t gap;
+    if (e.consumer == fanout_map::po_consumer) {
+      gap = options_.pad_outputs ? levels_.depth - levels_[n] : 0;
+    } else {
+      gap = levels_[e.consumer] - levels_[n] - 1;
+    }
+    return gap > options_.tolerance ? gap - options_.tolerance : 0;
+  }
+
+  /// Records the scheduled level of a rebuilt node (idempotent: structural
+  /// hashing may map several requests onto one node; the first wins).
+  void record_schedule(signal s, std::uint32_t level) {
+    if (schedule_.size() <= s.index()) {
+      schedule_.resize(s.index() + 1, 0);
+      schedule_[s.index()] = level;
+    }
+  }
+
+  /// Plans the buffer structure hanging off driver `n` (whose rebuilt signal
+  /// is `s`) and records the tap signal of every consumer edge.
+  void plan_driver(node_index n, signal s) {
+    const auto& edges = fanouts_.edges[n];
+    if (edges.empty()) {
+      return;
+    }
+    switch (options_.strategy) {
+      case buffer_strategy::naive:
+        for (const auto& e : edges) {
+          signal tap = s;
+          for (std::uint32_t i = 0; i < gap_of(n, e); ++i) {
+            tap = new_net_.create_buffer(tap);
+            record_schedule(tap, levels_[n] + i + 1);
+          }
+          taps_[edge_key(e.consumer, e.slot)] = tap;
+        }
+        break;
+      case buffer_strategy::chain: {
+        // Algorithm 1: one shared chain; fan-outs sorted by required depth
+        // tap it at their position (extending lazily gives the identical
+        // structure for any processing order).
+        std::vector<signal> chain{s};
+        for (const auto& e : edges) {
+          const std::uint32_t gap = gap_of(n, e);
+          while (chain.size() <= gap) {
+            chain.push_back(new_net_.create_buffer(chain.back()));
+            record_schedule(chain.back(),
+                            levels_[n] + static_cast<std::uint32_t>(chain.size()) - 1);
+          }
+          taps_[edge_key(e.consumer, e.slot)] = chain[gap];
+        }
+        break;
+      }
+      case buffer_strategy::tree:
+        plan_tree(n, s, edges);
+        break;
+    }
+  }
+
+  void plan_tree(node_index n, signal s, const std::vector<fanout_map::edge>& edges) {
+    const std::uint64_t cap =
+        options_.fanout_limit ? *options_.fanout_limit : std::numeric_limits<std::uint64_t>::max();
+
+    std::uint32_t max_gap = 0;
+    for (const auto& e : edges) {
+      max_gap = std::max(max_gap, gap_of(n, e));
+    }
+
+    // taps_at[p]: consumer edges attaching after p buffers.
+    std::vector<std::vector<const fanout_map::edge*>> taps_at(max_gap + 1);
+    for (const auto& e : edges) {
+      taps_at[gap_of(n, e)].push_back(&e);
+    }
+
+    // Bottom-up vertex counts: vertices at position p drive the taps at p
+    // plus the carrier buffers at p+1.
+    std::vector<std::uint64_t> vertices(max_gap + 2, 0);
+    for (std::uint32_t p = max_gap; p >= 1; --p) {
+      const std::uint64_t demand = taps_at[p].size() + vertices[p + 1];
+      // Overflow-safe ceiling division (cap may be the unlimited sentinel).
+      vertices[p] = demand == 0 ? 0 : 1 + (demand - 1) / cap;
+    }
+    if (taps_at[0].size() + vertices[1] > cap) {
+      throw std::invalid_argument{
+          "insert_buffers: driver fan-out exceeds the buffer-tree capacity; "
+          "run fanout restriction first"};
+    }
+
+    // Top-down materialization.
+    std::vector<signal> current{s};
+    std::vector<std::uint64_t> used{0};
+    for (std::uint32_t p = 0; p <= max_gap; ++p) {
+      std::vector<signal> next;
+      std::vector<std::uint64_t> next_used;
+      std::size_t parent = 0;
+      auto take_parent = [&]() -> signal {
+        while (used[parent] >= cap) {
+          ++parent;
+        }
+        ++used[parent];
+        return current[parent];
+      };
+      if (p < max_gap) {
+        next.reserve(vertices[p + 1]);
+        for (std::uint64_t i = 0; i < vertices[p + 1]; ++i) {
+          next.push_back(new_net_.create_buffer(take_parent()));
+          record_schedule(next.back(), levels_[n] + p + 1);
+          next_used.push_back(0);
+        }
+      }
+      for (const auto* e : taps_at[p]) {
+        taps_[edge_key(e->consumer, e->slot)] = take_parent();
+      }
+      current = std::move(next);
+      used = std::move(next_used);
+    }
+  }
+
+  /// Fan-in signal of the rebuilt consumer: the planned tap with the original
+  /// edge complement, or the constant itself.
+  signal tap_for(node_index consumer, std::uint32_t slot, signal original) {
+    if (old_.is_constant(original.index())) {
+      return original;
+    }
+    return taps_.at(edge_key(consumer, slot)).complement_if(original.is_complemented());
+  }
+
+  const mig_network& old_;
+  const buffer_insertion_options& options_;
+  level_map levels_;
+  fanout_map fanouts_;
+  mig_network new_net_;
+  std::unordered_map<std::uint64_t, signal> taps_;
+  std::vector<std::uint32_t> schedule_;  // scheduled level per new node
+};
+
+}  // namespace
+
+buffer_insertion_result insert_buffers(const mig_network& net,
+                                       const buffer_insertion_options& options) {
+  if (options.fanout_limit && *options.fanout_limit < 2) {
+    throw std::invalid_argument{"insert_buffers: fanout limit must be at least 2"};
+  }
+  balance_builder builder{net, options};
+  return builder.run();
+}
+
+}  // namespace wavemig

@@ -1,0 +1,47 @@
+#include "wavemig/pipeline.hpp"
+
+#include <utility>
+
+#include "wavemig/wave_schedule.hpp"
+
+namespace wavemig {
+
+pipeline_result wave_pipeline(const mig_network& net, const pipeline_options& options) {
+  pipeline_result result;
+  result.original_stats = compute_stats(net);
+  result.depth_before = result.original_stats.depth;
+
+  mig_network current = net;  // copy; passes below rebuild anyway
+
+  if (options.fanout_limit) {
+    fanout_restriction_options fo;
+    fo.limit = *options.fanout_limit;
+    fo.fill_residual = options.fill_residual;
+    auto restricted = restrict_fanout(current, fo);
+    result.fogs_added = restricted.fogs_added;
+    result.restriction_buffers_added = restricted.buffers_added;
+    result.delayed_edges = restricted.delayed_edges;
+    current = std::move(restricted.net);
+  }
+
+  if (options.insert_buffers) {
+    buffer_insertion_options bi;
+    bi.strategy = options.strategy;
+    bi.schedule = options.schedule;
+    if (options.fanout_limit && options.respect_limit_in_buffers) {
+      bi.strategy = buffer_strategy::tree;
+      bi.fanout_limit = options.fanout_limit;
+    }
+    auto balanced = insert_buffers(current, bi);
+    result.balance_buffers_added = balanced.buffers_added;
+    current = std::move(balanced.net);
+  }
+
+  result.final_stats = compute_stats(current);
+  result.depth_after = result.final_stats.depth;
+  result.wave_ready = check_wave_readiness(current).ready;
+  result.net = std::move(current);
+  return result;
+}
+
+}  // namespace wavemig

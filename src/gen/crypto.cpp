@@ -1,0 +1,208 @@
+#include "wavemig/gen/crypto.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/synthesis.hpp"
+#include "wavemig/truth_table.hpp"
+
+namespace wavemig::gen {
+
+namespace {
+
+using sbox_table = std::array<std::array<std::uint8_t, 16>, 4>;
+
+// FIPS 46-3 substitution boxes S1..S8.
+constexpr std::array<sbox_table, 8> des_sboxes{{
+    {{{14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7},
+      {0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8},
+      {4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0},
+      {15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13}}},
+    {{{15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10},
+      {3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5},
+      {0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15},
+      {13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9}}},
+    {{{10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8},
+      {13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1},
+      {13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7},
+      {1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12}}},
+    {{{7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15},
+      {13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9},
+      {10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4},
+      {3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14}}},
+    {{{2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9},
+      {14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6},
+      {4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14},
+      {11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3}}},
+    {{{12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11},
+      {10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8},
+      {9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6},
+      {4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13}}},
+    {{{4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1},
+      {13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6},
+      {1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2},
+      {6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12}}},
+    {{{13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7},
+      {1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2},
+      {7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8},
+      {2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11}}},
+}};
+
+// DES expansion table E (1-based bit positions of R).
+constexpr std::array<std::uint8_t, 48> des_expansion{
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11, 12, 13, 12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+
+// DES permutation P (1-based positions of the S-box output).
+constexpr std::array<std::uint8_t, 32> des_permutation{
+    16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
+    2,  8, 24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25};
+
+}  // namespace
+
+const sbox_table& des_sbox(unsigned box) {
+  if (box >= 8) {
+    throw std::invalid_argument{"des_sbox: box index in [0,8)"};
+  }
+  return des_sboxes[box];
+}
+
+std::array<signal, 4> des_sbox_network(mig_network& net, const std::array<signal, 6>& in,
+                                       unsigned box) {
+  const auto& table = des_sbox(box);
+  std::array<signal, 4> out{};
+  for (unsigned bit = 0; bit < 4; ++bit) {
+    truth_table tt{6};
+    for (unsigned v = 0; v < 64; ++v) {
+      // Input encoding: v = b5..b0 with row {b5,b0}, column {b4..b1}.
+      const unsigned row = ((v >> 5) << 1) | (v & 1u);
+      const unsigned col = (v >> 1) & 0xFu;
+      if ((table[row][col] >> bit) & 1u) {
+        tt.set_bit(v, true);
+      }
+    }
+    out[bit] = synthesize_truth_table(net, tt, std::vector<signal>{in.begin(), in.end()});
+  }
+  return out;
+}
+
+mig_network des_circuit(unsigned rounds) {
+  if (rounds == 0) {
+    throw std::invalid_argument{"des_circuit: at least one round"};
+  }
+  mig_network net;
+  const word block = make_input_word(net, 64, "blk");
+  const word key = make_input_word(net, 64, "key");
+
+  word left{block.begin(), block.begin() + 32};
+  word right{block.begin() + 32, block.end()};
+
+  for (unsigned r = 0; r < rounds; ++r) {
+    // Expansion: 32 -> 48 bits.
+    word expanded;
+    expanded.reserve(48);
+    for (const auto pos : des_expansion) {
+      expanded.push_back(right[pos - 1]);
+    }
+    // Key mixing: rotate the key input per round.
+    for (unsigned i = 0; i < 48; ++i) {
+      expanded[i] = net.create_xor(expanded[i], key[(i + 7 * r) % 64]);
+    }
+    // Eight S-boxes: 48 -> 32 bits.
+    word substituted(32, constant0);
+    for (unsigned box = 0; box < 8; ++box) {
+      // FIPS orders S-box input MSB-first; map to our b0..b5 LSB-first.
+      std::array<signal, 6> in{};
+      for (unsigned i = 0; i < 6; ++i) {
+        in[5 - i] = expanded[box * 6 + i];
+      }
+      const auto out = des_sbox_network(net, in, box);
+      for (unsigned i = 0; i < 4; ++i) {
+        substituted[box * 4 + (3 - i)] = out[i];  // MSB-first within the nibble
+      }
+    }
+    // Permutation P + Feistel combination.
+    word mixed(32, constant0);
+    for (unsigned i = 0; i < 32; ++i) {
+      mixed[i] = net.create_xor(left[i], substituted[des_permutation[i] - 1]);
+    }
+    left = right;
+    right = std::move(mixed);
+  }
+
+  make_output_word(net, left, "l");
+  make_output_word(net, right, "r");
+  return net;
+}
+
+mig_network reversible_cascade_circuit(unsigned lines, unsigned gates, std::uint64_t seed) {
+  if (lines < 3) {
+    throw std::invalid_argument{"reversible_cascade_circuit: at least three lines"};
+  }
+  mig_network net;
+  word wires = make_input_word(net, lines, "w");
+
+  std::mt19937_64 rng{seed};
+  std::uniform_int_distribution<unsigned> pick_line(0, lines - 1);
+  std::uniform_int_distribution<unsigned> pick_kind(0, 9);
+
+  for (unsigned g = 0; g < gates; ++g) {
+    const unsigned target = pick_line(rng);
+    const unsigned kind = pick_kind(rng);
+    if (kind < 6) {
+      // Toffoli: target ^= c1 & c2.
+      unsigned c1 = pick_line(rng);
+      while (c1 == target) {
+        c1 = pick_line(rng);
+      }
+      unsigned c2 = pick_line(rng);
+      while (c2 == target || c2 == c1) {
+        c2 = pick_line(rng);
+      }
+      wires[target] = net.create_xor(wires[target], net.create_and(wires[c1], wires[c2]));
+    } else if (kind < 9) {
+      // CNOT: target ^= c.
+      unsigned c = pick_line(rng);
+      while (c == target) {
+        c = pick_line(rng);
+      }
+      wires[target] = net.create_xor(wires[target], wires[c]);
+    } else {
+      // NOT.
+      wires[target] = !wires[target];
+    }
+  }
+
+  make_output_word(net, wires, "q");
+  return net;
+}
+
+mig_network crc32_circuit(unsigned data_bits) {
+  mig_network net;
+  const word state = make_input_word(net, 32, "crc");
+  const word data = make_input_word(net, data_bits, "d");
+
+  // Bitwise CRC-32 (polynomial 0xEDB88320, reflected form): one table-free
+  // shift-xor step per message bit.
+  word crc = state;
+  for (unsigned i = 0; i < data_bits; ++i) {
+    const signal feedback = net.create_xor(crc[0], data[i]);
+    word next(32, constant0);
+    for (unsigned b = 0; b < 31; ++b) {
+      next[b] = crc[b + 1];
+    }
+    constexpr std::uint32_t poly = 0xEDB88320u;
+    for (unsigned b = 0; b < 32; ++b) {
+      if ((poly >> b) & 1u) {
+        next[b] = net.create_xor(next[b], feedback);
+      }
+    }
+    crc = std::move(next);
+  }
+  make_output_word(net, crc, "q");
+  return net;
+}
+
+}  // namespace wavemig::gen

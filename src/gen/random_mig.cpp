@@ -1,0 +1,86 @@
+#include "wavemig/gen/random_mig.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "wavemig/cleanup.hpp"
+#include "wavemig/levels.hpp"
+
+namespace wavemig::gen {
+
+mig_network random_mig(const random_mig_profile& profile) {
+  if (profile.inputs < 3) {
+    throw std::invalid_argument{"random_mig: at least three inputs"};
+  }
+  if (profile.locality < 0.0 || profile.locality >= 1.0) {
+    throw std::invalid_argument{"random_mig: locality in [0,1)"};
+  }
+
+  mig_network net;
+  std::mt19937_64 rng{profile.seed};
+
+  std::vector<signal> pool;
+  for (unsigned i = 0; i < profile.inputs; ++i) {
+    pool.push_back(net.create_pi());
+  }
+
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  auto pick = [&]() -> signal {
+    // Mix of a uniform draw and a draw from the most recent window.
+    std::size_t index;
+    const std::size_t window = std::max<std::size_t>(profile.inputs, pool.size() / 8);
+    if (unit(rng) < profile.locality && pool.size() > window) {
+      index = pool.size() - 1 - (rng() % window);
+    } else {
+      index = rng() % pool.size();
+    }
+    return pool[index].complement_if((rng() & 1u) != 0);
+  };
+
+  for (unsigned g = 0; g < profile.gates; ++g) {
+    signal a = pick();
+    signal b = pick();
+    signal c = pick();
+    // Distinct underlying nodes keep create_maj from collapsing the gate.
+    int guard = 0;
+    while ((b.index() == a.index() || b.index() == c.index() || a.index() == c.index()) &&
+           guard++ < 64) {
+      if (b.index() == a.index()) {
+        b = pick();
+      } else {
+        c = pick();
+      }
+    }
+    const signal s = net.create_maj(a, b, c);
+    if (net.is_majority(s.index())) {
+      pool.push_back(s.without_complement());
+    }
+  }
+
+  // Outputs: dangling gates first (deterministic order), then deep nodes.
+  const auto fanouts = compute_fanouts(net);
+  std::vector<node_index> dangling;
+  net.foreach_gate([&](node_index n) {
+    if (fanouts.degree(n) == 0) {
+      dangling.push_back(n);
+    }
+  });
+  unsigned made = 0;
+  for (const node_index n : dangling) {
+    if (made >= profile.outputs) {
+      break;
+    }
+    net.create_po(signal{n, false});
+    ++made;
+  }
+  for (std::size_t i = pool.size(); made < profile.outputs && i-- > 0;) {
+    net.create_po(pool[i].complement_if((rng() & 1u) != 0));
+    ++made;
+  }
+
+  return cleanup_dangling(net);
+}
+
+}  // namespace wavemig::gen

@@ -1,0 +1,298 @@
+#include "wavemig/io/blif.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "wavemig/io/mig_format.hpp"  // parse_error
+
+namespace wavemig::io {
+
+namespace {
+
+struct names_block {
+  std::vector<std::string> signals;  // inputs..., output last
+  std::vector<std::pair<std::string, char>> cubes;
+  std::size_t line_no{0};
+};
+
+signal build_cover(mig_network& net, const names_block& block,
+                   const std::vector<signal>& inputs, std::size_t line_no) {
+  // Constant covers.
+  if (inputs.empty()) {
+    if (block.cubes.empty()) {
+      return constant0;
+    }
+    return block.cubes.front().second == '1' ? constant1 : constant0;
+  }
+  if (block.cubes.empty()) {
+    return constant0;
+  }
+
+  const char value = block.cubes.front().second;
+  signal sum = constant0;
+  for (const auto& [pattern, out] : block.cubes) {
+    if (out != value) {
+      throw parse_error{line_no, ".names mixes on-set and off-set cubes"};
+    }
+    if (pattern.size() != inputs.size()) {
+      throw parse_error{line_no, "cube width does not match .names input count"};
+    }
+    signal cube = constant1;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      if (pattern[i] == '1') {
+        cube = net.create_and(cube, inputs[i]);
+      } else if (pattern[i] == '0') {
+        cube = net.create_and(cube, !inputs[i]);
+      } else if (pattern[i] != '-') {
+        throw parse_error{line_no, std::string{"invalid cube character '"} + pattern[i] + "'"};
+      }
+    }
+    sum = net.create_or(sum, cube);
+  }
+  return value == '1' ? sum : !sum;  // off-set cover describes the complement
+}
+
+}  // namespace
+
+mig_network read_blif(std::istream& is) {
+  mig_network net;
+  std::unordered_map<std::string, signal> symbols;
+  std::vector<std::string> outputs;
+  std::vector<names_block> blocks;
+
+  std::size_t line_no = 0;
+  std::string line;
+  std::string pending;  // handles '\' continuations
+  names_block* current = nullptr;
+
+  auto tokens_of = [](const std::string& s) {
+    std::vector<std::string> t;
+    std::stringstream ss{s};
+    std::string w;
+    while (ss >> w) {
+      t.push_back(w);
+    }
+    return t;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (!line.empty() && line.back() == '\\') {
+      pending += line.substr(0, line.size() - 1) + " ";
+      continue;
+    }
+    line = pending + line;
+    pending.clear();
+
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto toks = tokens_of(line);
+    if (toks.empty()) {
+      continue;
+    }
+
+    if (toks[0] == ".model") {
+      current = nullptr;
+    } else if (toks[0] == ".inputs") {
+      current = nullptr;
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        symbols[toks[i]] = net.create_pi(toks[i]);
+      }
+    } else if (toks[0] == ".outputs") {
+      current = nullptr;
+      outputs.insert(outputs.end(), toks.begin() + 1, toks.end());
+    } else if (toks[0] == ".names") {
+      if (toks.size() < 2) {
+        throw parse_error{line_no, ".names requires at least an output"};
+      }
+      blocks.emplace_back();
+      current = &blocks.back();
+      current->signals.assign(toks.begin() + 1, toks.end());
+      current->line_no = line_no;
+    } else if (toks[0] == ".end") {
+      current = nullptr;
+    } else if (toks[0] == ".latch" || toks[0] == ".subckt" || toks[0] == ".gate") {
+      throw parse_error{line_no, "unsupported BLIF construct '" + toks[0] + "'"};
+    } else if (toks[0][0] == '.') {
+      throw parse_error{line_no, "unknown BLIF directive '" + toks[0] + "'"};
+    } else {
+      if (current == nullptr) {
+        throw parse_error{line_no, "cube line outside .names"};
+      }
+      if (current->signals.size() == 1) {
+        // Constant: single token '0' or '1'.
+        if (toks.size() != 1 || (toks[0] != "0" && toks[0] != "1")) {
+          throw parse_error{line_no, "constant .names expects a single 0/1 line"};
+        }
+        current->cubes.emplace_back("", toks[0][0]);
+      } else {
+        if (toks.size() != 2 || toks[1].size() != 1) {
+          throw parse_error{line_no, "cube line must be '<pattern> <0|1>'"};
+        }
+        current->cubes.emplace_back(toks[0], toks[1][0]);
+      }
+    }
+  }
+
+  // Resolve .names blocks; BLIF allows any order, so iterate until all
+  // definitions are available (cycles are rejected).
+  std::vector<bool> done(blocks.size(), false);
+  std::size_t remaining = blocks.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (done[i]) {
+        continue;
+      }
+      auto& block = blocks[i];
+      std::vector<signal> inputs;
+      bool ready = true;
+      for (std::size_t s = 0; s + 1 < block.signals.size(); ++s) {
+        const auto it = symbols.find(block.signals[s]);
+        if (it == symbols.end()) {
+          ready = false;
+          break;
+        }
+        inputs.push_back(it->second);
+      }
+      if (!ready) {
+        continue;
+      }
+      const std::string& out = block.signals.back();
+      if (symbols.count(out) != 0) {
+        throw parse_error{block.line_no, "redefinition of '" + out + "'"};
+      }
+      symbols[out] = build_cover(net, block, inputs, block.line_no);
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    throw parse_error{0, "unresolved or cyclic .names definitions"};
+  }
+
+  for (const auto& name : outputs) {
+    const auto it = symbols.find(name);
+    if (it == symbols.end()) {
+      throw parse_error{0, "undefined output '" + name + "'"};
+    }
+    net.create_po(it->second, name);
+  }
+  return net;
+}
+
+mig_network read_blif_file(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) {
+    throw std::runtime_error{"read_blif_file: cannot open '" + path + "'"};
+  }
+  return read_blif(is);
+}
+
+namespace {
+
+std::string blif_name(const mig_network& net, node_index n) {
+  if (net.is_pi(n)) {
+    return net.pi_name(net.pi_position(n));
+  }
+  return "n" + std::to_string(n);
+}
+
+}  // namespace
+
+void write_blif(const mig_network& net, std::ostream& os, const std::string& model_name) {
+  os << ".model " << model_name << "\n.inputs";
+  for (std::size_t i = 0; i < net.num_pis(); ++i) {
+    os << ' ' << net.pi_name(i);
+  }
+  os << "\n.outputs";
+  for (const auto& po : net.pos()) {
+    os << ' ' << po.name;
+  }
+  os << '\n';
+
+  // Shared inverters: one per driver that feeds any complemented edge.
+  std::unordered_set<node_index> inverted;
+  auto inverted_name = [&](node_index n) { return blif_name(net, n) + "_b"; };
+  auto operand = [&](signal s) -> std::string {
+    if (s.is_complemented()) {
+      inverted.insert(s.index());
+      return inverted_name(s.index());
+    }
+    return blif_name(net, s.index());
+  };
+
+  // Constant drivers used anywhere need .names blocks.
+  bool use_const0 = false;
+  bool use_const1 = false;
+  std::ostringstream body;
+  auto emit_operand = [&](signal s) -> std::string {
+    if (net.is_constant(s.index())) {
+      if (s.is_complemented()) {
+        use_const1 = true;
+        return "const1";
+      }
+      use_const0 = true;
+      return "const0";
+    }
+    return operand(s);
+  };
+
+  net.foreach_node([&](node_index n) {
+    switch (net.kind(n)) {
+      case node_kind::majority: {
+        const auto fis = net.fanins(n);
+        const std::string a = emit_operand(fis[0]);
+        const std::string b = emit_operand(fis[1]);
+        const std::string c = emit_operand(fis[2]);
+        body << ".names " << a << ' ' << b << ' ' << c << ' ' << blif_name(net, n) << '\n'
+             << "11- 1\n1-1 1\n-11 1\n";
+        break;
+      }
+      case node_kind::buffer:
+      case node_kind::fanout:
+        body << ".names " << emit_operand(net.fanins(n)[0]) << ' ' << blif_name(net, n) << '\n'
+             << "1 1\n";
+        break;
+      default:
+        break;
+    }
+  });
+
+  std::ostringstream po_body;
+  for (const auto& po : net.pos()) {
+    po_body << ".names " << emit_operand(po.driver) << ' ' << po.name << "\n1 1\n";
+  }
+
+  if (use_const0) {
+    os << ".names const0\n";  // empty cover = constant 0
+  }
+  if (use_const1) {
+    os << ".names const1\n1\n";
+  }
+  for (const node_index n : inverted) {
+    os << ".names " << blif_name(net, n) << ' ' << inverted_name(n) << "\n0 1\n";
+  }
+  os << body.str() << po_body.str() << ".end\n";
+}
+
+void write_blif_file(const mig_network& net, const std::string& path,
+                     const std::string& model_name) {
+  std::ofstream os{path};
+  if (!os) {
+    throw std::runtime_error{"write_blif_file: cannot open '" + path + "'"};
+  }
+  write_blif(net, os, model_name);
+}
+
+}  // namespace wavemig::io

@@ -1,0 +1,92 @@
+#include "wavemig/levels.hpp"
+
+#include <algorithm>
+
+namespace wavemig {
+
+level_map compute_levels(const mig_network& net) {
+  level_map result;
+  result.level.assign(net.num_nodes(), 0);
+
+  net.foreach_node([&](node_index n) {
+    std::uint32_t lvl = 0;
+    bool has_wave_input = false;
+    for (const signal f : net.fanins(n)) {
+      if (net.is_constant(f.index())) {
+        continue;
+      }
+      has_wave_input = true;
+      lvl = std::max(lvl, result.level[f.index()] + 1);
+    }
+    // A component fed only by constants would be degenerate; canonicalization
+    // prevents it for majority gates, and buffers/FOGs on constants keep
+    // level 0 + 1 via the has_wave_input fallback below.
+    if (!has_wave_input && (net.is_majority(n) || net.is_buffer(n) || net.is_fanout_gate(n))) {
+      lvl = 1;
+    }
+    result.level[n] = lvl;
+  });
+
+  for (const auto& po : net.pos()) {
+    if (!net.is_constant(po.driver.index())) {
+      result.depth = std::max(result.depth, result.level[po.driver.index()]);
+    }
+  }
+  return result;
+}
+
+std::uint32_t max_exclusive_base_distance(const mig_network& net, const level_map& levels,
+                                          node_index n) {
+  (void)net;
+  const std::uint32_t own = levels.level[n];
+  return own == 0 ? 0 : own - 1;
+}
+
+fanout_map compute_fanouts(const mig_network& net) {
+  fanout_map result;
+  result.edges.resize(net.num_nodes());
+
+  net.foreach_node([&](node_index n) {
+    const auto fis = net.fanins(n);
+    for (std::uint32_t slot = 0; slot < fis.size(); ++slot) {
+      const node_index driver = fis[slot].index();
+      if (!net.is_constant(driver)) {
+        result.edges[driver].push_back({n, slot});
+      }
+    }
+  });
+
+  for (std::uint32_t position = 0; position < net.num_pos(); ++position) {
+    const node_index driver = net.po_signal(position).index();
+    if (!net.is_constant(driver)) {
+      result.edges[driver].push_back({fanout_map::po_consumer, position});
+    }
+  }
+  return result;
+}
+
+std::size_t max_fanout_degree(const mig_network& net) {
+  const auto fanouts = compute_fanouts(net);
+  std::size_t best = 0;
+  net.foreach_node([&](node_index n) {
+    if (!net.is_constant(n)) {
+      best = std::max(best, fanouts.degree(n));
+    }
+  });
+  return best;
+}
+
+network_stats compute_stats(const mig_network& net) {
+  network_stats s;
+  s.pis = net.num_pis();
+  s.pos = net.num_pos();
+  s.majorities = net.num_majorities();
+  s.buffers = net.num_buffers();
+  s.fanout_gates = net.num_fanout_gates();
+  s.components = net.num_components();
+  s.depth = compute_levels(net).depth;
+  s.max_fanout = max_fanout_degree(net);
+  return s;
+}
+
+}  // namespace wavemig

@@ -1,0 +1,133 @@
+#include "wavemig/simulation.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace wavemig {
+
+namespace {
+
+std::uint64_t read_word(const std::vector<std::uint64_t>& values, signal s) {
+  const std::uint64_t v = values[s.index()];
+  return s.is_complemented() ? ~v : v;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> simulate_words(const mig_network& net,
+                                          const std::vector<std::uint64_t>& pi_words) {
+  if (pi_words.size() != net.num_pis()) {
+    throw std::invalid_argument{"simulate_words: one word per primary input required"};
+  }
+
+  std::vector<std::uint64_t> values(net.num_nodes(), 0);
+  net.foreach_node([&](node_index n) {
+    switch (net.kind(n)) {
+      case node_kind::constant:
+        values[n] = 0;
+        break;
+      case node_kind::primary_input:
+        values[n] = pi_words[net.pi_position(n)];
+        break;
+      case node_kind::majority: {
+        const auto fis = net.fanins(n);
+        const std::uint64_t a = read_word(values, fis[0]);
+        const std::uint64_t b = read_word(values, fis[1]);
+        const std::uint64_t c = read_word(values, fis[2]);
+        values[n] = (a & b) | (b & c) | (a & c);
+        break;
+      }
+      case node_kind::buffer:
+      case node_kind::fanout:
+        values[n] = read_word(values, net.fanins(n)[0]);
+        break;
+    }
+  });
+
+  std::vector<std::uint64_t> result;
+  result.reserve(net.num_pos());
+  for (const auto& po : net.pos()) {
+    result.push_back(read_word(values, po.driver));
+  }
+  return result;
+}
+
+std::vector<truth_table> simulate_truth_tables(const mig_network& net) {
+  const auto num_vars = static_cast<unsigned>(net.num_pis());
+  if (num_vars > 20) {
+    throw std::invalid_argument{"simulate_truth_tables: at most 20 inputs supported"};
+  }
+
+  std::vector<truth_table> values(net.num_nodes(), truth_table{num_vars});
+  net.foreach_node([&](node_index n) {
+    switch (net.kind(n)) {
+      case node_kind::constant:
+        break;  // already constant 0
+      case node_kind::primary_input:
+        values[n] = truth_table::nth_var(num_vars, static_cast<unsigned>(net.pi_position(n)));
+        break;
+      case node_kind::majority: {
+        const auto fis = net.fanins(n);
+        auto in = [&](signal s) {
+          return s.is_complemented() ? ~values[s.index()] : values[s.index()];
+        };
+        values[n] = truth_table::maj(in(fis[0]), in(fis[1]), in(fis[2]));
+        break;
+      }
+      case node_kind::buffer:
+      case node_kind::fanout: {
+        const signal s = net.fanins(n)[0];
+        values[n] = s.is_complemented() ? ~values[s.index()] : values[s.index()];
+        break;
+      }
+    }
+  });
+
+  std::vector<truth_table> result;
+  result.reserve(net.num_pos());
+  for (const auto& po : net.pos()) {
+    result.push_back(po.driver.is_complemented() ? ~values[po.driver.index()]
+                                                 : values[po.driver.index()]);
+  }
+  return result;
+}
+
+std::vector<bool> simulate_pattern(const mig_network& net, const std::vector<bool>& inputs) {
+  if (inputs.size() != net.num_pis()) {
+    throw std::invalid_argument{"simulate_pattern: one value per primary input required"};
+  }
+  std::vector<std::uint64_t> words(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    words[i] = inputs[i] ? ~std::uint64_t{0} : 0;
+  }
+  const auto out = simulate_words(net, words);
+  std::vector<bool> result(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    result[i] = (out[i] & 1u) != 0;
+  }
+  return result;
+}
+
+bool functionally_equivalent(const mig_network& a, const mig_network& b, unsigned rounds,
+                             std::uint64_t seed, unsigned exact_limit) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
+    return false;
+  }
+  if (a.num_pis() <= exact_limit) {
+    return simulate_truth_tables(a) == simulate_truth_tables(b);
+  }
+
+  std::mt19937_64 rng{seed};
+  for (unsigned round = 0; round < rounds; ++round) {
+    std::vector<std::uint64_t> words(a.num_pis());
+    for (auto& w : words) {
+      w = rng();
+    }
+    if (simulate_words(a, words) != simulate_words(b, words)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wavemig

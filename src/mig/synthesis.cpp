@@ -1,0 +1,96 @@
+#include "wavemig/synthesis.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace wavemig {
+
+namespace {
+
+struct table_hash {
+  std::size_t operator()(const std::vector<std::uint64_t>& words) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (auto w : words) {
+      h ^= static_cast<std::size_t>(w);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// Extracts the cofactor of the top variable (index num_vars-1): the lower
+/// or upper half of the bit string, over num_vars-1 variables.
+truth_table top_cofactor(const truth_table& tt, bool polarity) {
+  const unsigned vars = tt.num_vars();
+  truth_table result{vars - 1};
+  const std::uint64_t half = std::uint64_t{1} << (vars - 1);
+  for (std::uint64_t i = 0; i < half; ++i) {
+    result.set_bit(i, tt.get_bit(polarity ? i + half : i));
+  }
+  return result;
+}
+
+class shannon_builder {
+public:
+  shannon_builder(mig_network& net, std::span<const signal> inputs) : net_{net}, inputs_{inputs} {}
+
+  signal build(const truth_table& tt) {
+    const unsigned vars = tt.num_vars();
+    if (tt == truth_table::constant(vars, false)) {
+      return constant0;
+    }
+    if (tt == truth_table::constant(vars, true)) {
+      return constant1;
+    }
+    for (unsigned v = 0; v < vars; ++v) {
+      const auto proj = truth_table::nth_var(vars, v);
+      if (tt == proj) {
+        return inputs_[v];
+      }
+      if (tt == ~proj) {
+        return !inputs_[v];
+      }
+    }
+
+    if (const auto it = cache_.find(tt.words()); it != cache_.end()) {
+      // Cache keys are per variable count; collisions across widths are
+      // avoided because recursion depth fixes the width for equal keys only
+      // when bit counts match.
+      if (it->second.vars == vars) {
+        return it->second.s;
+      }
+    }
+
+    const signal high = build(top_cofactor(tt, true));
+    const signal low = build(top_cofactor(tt, false));
+    const signal sel = inputs_[vars - 1];
+    const signal result = net_.create_mux(sel, high, low);
+    cache_[tt.words()] = {result, vars};
+    return result;
+  }
+
+private:
+  struct entry {
+    signal s;
+    unsigned vars;
+  };
+
+  mig_network& net_;
+  std::span<const signal> inputs_;
+  std::unordered_map<std::vector<std::uint64_t>, entry, table_hash> cache_;
+};
+
+}  // namespace
+
+signal synthesize_truth_table(mig_network& net, const truth_table& tt,
+                              std::span<const signal> inputs) {
+  if (inputs.size() != tt.num_vars()) {
+    throw std::invalid_argument{"synthesize_truth_table: input count must match variable count"};
+  }
+  shannon_builder builder{net, inputs};
+  return builder.build(tt);
+}
+
+}  // namespace wavemig

@@ -1,0 +1,68 @@
+#include "wavemig/metrics.hpp"
+
+#include "wavemig/inverter_optimization.hpp"
+#include "wavemig/levels.hpp"
+
+namespace wavemig {
+
+component_inventory count_components(const mig_network& net, bool optimize_polarity) {
+  component_inventory inv;
+  inv.majorities = net.num_majorities();
+  inv.buffers = net.num_buffers();
+  inv.fanout_gates = net.num_fanout_gates();
+  inv.outputs = net.num_pos();
+  inv.inverters =
+      optimize_polarity ? optimize_inverters(net).inverter_count : count_inverters(net);
+  return inv;
+}
+
+circuit_metrics compute_metrics(const mig_network& net, const technology& tech,
+                                bool wave_pipelined, unsigned phases) {
+  circuit_metrics m;
+  m.components = count_components(net);
+  m.depth = compute_levels(net).depth;
+
+  const auto maj = static_cast<double>(m.components.majorities);
+  const auto buf = static_cast<double>(m.components.buffers);
+  const auto fog = static_cast<double>(m.components.fanout_gates);
+  const auto inv = static_cast<double>(m.components.inverters);
+
+  m.area_um2 = tech.cell_area_um2 *
+               (maj * tech.maj.area + buf * tech.buf.area + fog * tech.fog.area +
+                inv * tech.inv.area);
+  m.energy_per_op_fj =
+      tech.cell_energy_fj * (maj * tech.maj.energy + buf * tech.buf.energy +
+                             fog * tech.fog.energy + inv * tech.inv.energy) +
+      tech.sense_amp_energy_fj * static_cast<double>(m.components.outputs);
+
+  m.latency_ns = static_cast<double>(m.depth) * tech.phase_delay_ns;
+  if (m.latency_ns <= 0.0) {
+    m.latency_ns = tech.phase_delay_ns;  // degenerate single-level circuits
+  }
+
+  if (wave_pipelined) {
+    m.throughput_mops = 1e3 / (static_cast<double>(phases) * tech.phase_delay_ns);
+    m.waves_in_flight = (m.depth + phases - 1) / phases;
+  } else {
+    m.throughput_mops = 1e3 / m.latency_ns;
+    m.waves_in_flight = 1;
+  }
+
+  // fJ / ns = uW. The paper's power model charges one operation over the
+  // circuit latency; the steady-state model charges every wave in flight.
+  m.power_uw = m.energy_per_op_fj / m.latency_ns;
+  m.power_steady_state_uw = m.energy_per_op_fj * m.throughput_mops * 1e-3;
+  return m;
+}
+
+pipeline_comparison compare_metrics(const mig_network& original, const mig_network& pipelined,
+                                    const technology& tech, unsigned phases) {
+  pipeline_comparison c;
+  c.original = compute_metrics(original, tech, false, phases);
+  c.pipelined = compute_metrics(pipelined, tech, true, phases);
+  c.ta_gain = c.pipelined.throughput_per_area() / c.original.throughput_per_area();
+  c.tp_gain = c.pipelined.throughput_per_power() / c.original.throughput_per_power();
+  return c;
+}
+
+}  // namespace wavemig

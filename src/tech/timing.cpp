@@ -1,0 +1,64 @@
+#include "wavemig/timing.hpp"
+
+#include <stdexcept>
+
+#include "wavemig/inverter_optimization.hpp"
+
+namespace wavemig {
+
+timing_report analyze_stage_timing(const mig_network& net, const technology& tech,
+                                   unsigned phases, bool optimize_polarity) {
+  if (phases == 0) {
+    throw std::invalid_argument{"analyze_stage_timing: at least one phase required"};
+  }
+
+  std::vector<bool> flip(net.num_nodes(), false);
+  if (optimize_polarity) {
+    flip = optimize_inverters(net).flip;
+  }
+
+  auto relative_delay = [&](node_index n) {
+    switch (net.kind(n)) {
+      case node_kind::majority:
+        return tech.maj.delay;
+      case node_kind::buffer:
+        return tech.buf.delay;
+      case node_kind::fanout:
+        return tech.fog.delay;
+      default:
+        return 0.0;
+    }
+  };
+
+  timing_report report;
+  report.assumed_phase_delay_ns = tech.phase_delay_ns;
+
+  double worst_relative = 0.0;
+  net.foreach_component([&](node_index n) {
+    bool has_inverter = false;
+    for (const signal f : net.fanins(n)) {
+      if (net.is_constant(f.index())) {
+        continue;
+      }
+      const bool inverter = f.is_complemented() ^ flip[f.index()] ^ flip[n];
+      has_inverter = has_inverter || inverter;
+    }
+    const double stage = relative_delay(n) + (has_inverter ? tech.inv.delay : 0.0);
+    if (stage > worst_relative) {
+      worst_relative = stage;
+      report.critical_node = n;
+      report.critical_has_inverter = has_inverter;
+    }
+  });
+
+  if (worst_relative == 0.0) {
+    worst_relative = tech.maj.delay;  // no components: fall back to one gate
+  }
+  report.required_phase_delay_ns = tech.cell_delay_ns * worst_relative;
+  report.slack_ratio = report.assumed_phase_delay_ns / report.required_phase_delay_ns;
+  report.effective_wp_throughput_mops =
+      1e3 / (static_cast<double>(phases) * report.required_phase_delay_ns);
+  return report;
+}
+
+}  // namespace wavemig

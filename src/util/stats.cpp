@@ -1,0 +1,95 @@
+#include "wavemig/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wavemig {
+
+double power_law_fit::operator()(double x) const { return coefficient * std::pow(x, exponent); }
+
+power_law_fit fit_power_law(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument{"fit_power_law: size mismatch"};
+  }
+  std::vector<double> lx;
+  std::vector<double> ly;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  const auto n = static_cast<double>(lx.size());
+  if (lx.size() < 2) {
+    throw std::invalid_argument{"fit_power_law: need at least two positive samples"};
+  }
+
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    sx += lx[i];
+    sy += ly[i];
+    sxx += lx[i] * lx[i];
+    sxy += lx[i] * ly[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    throw std::invalid_argument{"fit_power_law: degenerate x values"};
+  }
+  power_law_fit fit;
+  fit.exponent = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - fit.exponent * sx) / n;
+  fit.coefficient = std::exp(intercept);
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  const double mean_y = sy / n;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    const double predicted = intercept + fit.exponent * lx[i];
+    ss_res += (ly[i] - predicted) * (ly[i] - predicted);
+    ss_tot += (ly[i] - mean_y) * (ly[i] - mean_y);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (double v : values) {
+    total += v;
+  }
+  return total / static_cast<double>(values.size());
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) {
+      throw std::invalid_argument{"geometric_mean: values must be positive"};
+    }
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double sample_stddev(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) {
+    ss += (v - m) * (v - m);
+  }
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace wavemig

@@ -1,0 +1,156 @@
+#include "wavemig/truth_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace wavemig {
+
+namespace {
+
+constexpr std::uint64_t var_pattern(unsigned var) {
+  // Periodic pattern of variable `var` inside one 64-bit word (var < 6).
+  constexpr std::uint64_t patterns[6] = {
+      0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+      0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+  return patterns[var];
+}
+
+}  // namespace
+
+truth_table::truth_table(unsigned num_vars) : num_vars_{num_vars} {
+  if (num_vars > 20) {
+    throw std::invalid_argument{"truth_table supports at most 20 variables"};
+  }
+  const std::size_t words = num_vars <= 6 ? 1 : (std::size_t{1} << (num_vars - 6));
+  words_.assign(words, 0);
+}
+
+bool truth_table::get_bit(std::uint64_t position) const {
+  return (words_[position >> 6u] >> (position & 63u)) & 1u;
+}
+
+void truth_table::set_bit(std::uint64_t position, bool value) {
+  if (value) {
+    words_[position >> 6u] |= std::uint64_t{1} << (position & 63u);
+  } else {
+    words_[position >> 6u] &= ~(std::uint64_t{1} << (position & 63u));
+  }
+}
+
+truth_table truth_table::nth_var(unsigned num_vars, unsigned var) {
+  if (var >= num_vars) {
+    throw std::invalid_argument{"nth_var: variable out of range"};
+  }
+  truth_table tt{num_vars};
+  if (var < 6) {
+    for (auto& w : tt.words_) {
+      w = var_pattern(var);
+    }
+  } else {
+    const std::size_t period = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < tt.words_.size(); ++i) {
+      tt.words_[i] = (i / period) % 2 == 1 ? ~std::uint64_t{0} : 0;
+    }
+  }
+  tt.mask_top_word();
+  return tt;
+}
+
+truth_table truth_table::constant(unsigned num_vars, bool value) {
+  truth_table tt{num_vars};
+  if (value) {
+    for (auto& w : tt.words_) {
+      w = ~std::uint64_t{0};
+    }
+    tt.mask_top_word();
+  }
+  return tt;
+}
+
+void truth_table::mask_top_word() {
+  if (num_vars_ < 6) {
+    words_.back() &= (std::uint64_t{1} << (std::uint64_t{1} << num_vars_)) - 1;
+  }
+}
+
+truth_table truth_table::operator~() const {
+  truth_table r{*this};
+  for (auto& w : r.words_) {
+    w = ~w;
+  }
+  r.mask_top_word();
+  return r;
+}
+
+truth_table truth_table::operator&(const truth_table& other) const {
+  truth_table r{*this};
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    r.words_[i] &= other.words_[i];
+  }
+  return r;
+}
+
+truth_table truth_table::operator|(const truth_table& other) const {
+  truth_table r{*this};
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    r.words_[i] |= other.words_[i];
+  }
+  return r;
+}
+
+truth_table truth_table::operator^(const truth_table& other) const {
+  truth_table r{*this};
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    r.words_[i] ^= other.words_[i];
+  }
+  return r;
+}
+
+truth_table truth_table::maj(const truth_table& a, const truth_table& b, const truth_table& c) {
+  truth_table r{a.num_vars_};
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    const auto wa = a.words_[i];
+    const auto wb = b.words_[i];
+    const auto wc = c.words_[i];
+    r.words_[i] = (wa & wb) | (wb & wc) | (wa & wc);
+  }
+  return r;
+}
+
+truth_table truth_table::ite(const truth_table& sel, const truth_table& then_tt,
+                             const truth_table& else_tt) {
+  truth_table r{sel.num_vars_};
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    r.words_[i] = (sel.words_[i] & then_tt.words_[i]) | (~sel.words_[i] & else_tt.words_[i]);
+  }
+  r.mask_top_word();
+  return r;
+}
+
+bool operator==(const truth_table& a, const truth_table& b) {
+  return a.num_vars_ == b.num_vars_ && a.words_ == b.words_;
+}
+
+std::uint64_t truth_table::count_ones() const {
+  std::uint64_t total = 0;
+  for (auto w : words_) {
+    total += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return total;
+}
+
+std::string truth_table::to_hex() const {
+  static constexpr char digits[] = "0123456789abcdef";
+  const std::uint64_t bits = num_bits();
+  const std::uint64_t nibbles = bits < 4 ? 1 : bits / 4;
+  std::string out;
+  out.reserve(nibbles);
+  for (std::uint64_t n = nibbles; n-- > 0;) {
+    const std::uint64_t bit = n * 4;
+    const unsigned value = (words_[bit >> 6u] >> (bit & 63u)) & 0xFu;
+    out.push_back(digits[value]);
+  }
+  return out;
+}
+
+}  // namespace wavemig

@@ -1,0 +1,103 @@
+#include "wavemig/balance_rewriting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/depth_rewriting.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/random_mig.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/scheduling.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(balance_rewriting, preserves_function) {
+  for (std::uint64_t seed : {41ull, 42ull, 43ull}) {
+    const auto net = gen::random_mig({14, 400, 0.6, 14, seed});
+    const auto rewritten = balance_rewrite(net);
+    EXPECT_TRUE(functionally_equivalent(net, rewritten)) << "seed " << seed;
+  }
+}
+
+TEST(balance_rewriting, never_increases_depth) {
+  for (const auto& name : {"mul8", "sasc", "crc32_8", "int2float16"}) {
+    const auto net = gen::build_benchmark(name);
+    const auto rewritten = balance_rewrite(net);
+    EXPECT_LE(compute_levels(rewritten).depth, compute_levels(net).depth) << name;
+    EXPECT_TRUE(functionally_equivalent(net, rewritten, 4)) << name;
+  }
+}
+
+TEST(balance_rewriting, reduces_imbalance_on_skewed_input) {
+  // A left-deep AND chain consumed together with its own leaves is heavily
+  // skewed; balance rewriting must cut the total slack.
+  mig_network net;
+  std::vector<signal> leaves;
+  for (int i = 0; i < 16; ++i) {
+    leaves.push_back(net.create_pi());
+  }
+  signal acc = leaves[0];
+  for (int i = 1; i < 16; ++i) {
+    acc = net.create_and(acc, leaves[i]);
+  }
+  net.create_po(acc);
+
+  const auto before = slack_sum(net, compute_levels(net));
+  const auto rewritten = balance_rewrite(net);
+  const auto after = slack_sum(rewritten, compute_levels(rewritten));
+  EXPECT_LT(after, before);
+  EXPECT_LT(compute_levels(rewritten).depth, compute_levels(net).depth);
+  EXPECT_TRUE(functionally_equivalent(net, rewritten));
+}
+
+TEST(balance_rewriting, matches_depth_rewriting_depth) {
+  // Wave-aware scoring is depth-first lexicographic: it must reach the same
+  // depth as plain depth rewriting (spread only breaks ties).
+  for (std::uint64_t seed : {7ull, 8ull}) {
+    const auto net = gen::random_mig({12, 300, 0.7, 12, seed});
+    const auto by_depth = depth_rewrite(net);
+    const auto by_balance = balance_rewrite(net);
+    EXPECT_LE(compute_levels(by_balance).depth, compute_levels(by_depth).depth + 1)
+        << "seed " << seed;
+  }
+}
+
+TEST(balance_rewriting, never_regresses_buffer_count_materially) {
+  // Honest finding (see ablation_wave_aware): on already depth-optimized
+  // netlists the local spread tie-breaking moves the buffer bill by ~0.1%
+  // on average — the paper's conjecture needs global restructuring (ALAP
+  // scheduling delivers it; see test_scheduling). The invariant here is
+  // safety: the pass must never inflate the bill materially.
+  for (const auto& name : {"mul8", "mul16", "hamming", "revx", "mac16"}) {
+    const auto net = gen::build_benchmark(name);
+    const auto rewritten = balance_rewrite(net);
+    const auto base = insert_buffers(net).buffers_added;
+    const auto tuned = insert_buffers(rewritten).buffers_added;
+    EXPECT_LT(static_cast<double>(tuned), static_cast<double>(base) * 1.2) << name;
+  }
+}
+
+TEST(balance_rewriting, area_neutral_mode) {
+  const auto net = gen::random_mig({12, 300, 0.5, 12, 91});
+  balance_rewriting_options opts;
+  opts.allow_area_increase = false;
+  const auto rewritten = balance_rewrite(net, opts);
+  EXPECT_LE(rewritten.num_majorities(), net.num_majorities() + 2);
+  EXPECT_TRUE(functionally_equivalent(net, rewritten));
+}
+
+TEST(balance_rewriting, preserves_interface) {
+  const auto net = gen::multiplier_circuit(4);
+  const auto rewritten = balance_rewrite(net);
+  ASSERT_EQ(rewritten.num_pis(), net.num_pis());
+  ASSERT_EQ(rewritten.num_pos(), net.num_pos());
+  EXPECT_EQ(rewritten.po_name(0), net.po_name(0));
+}
+
+}  // namespace
+}  // namespace wavemig

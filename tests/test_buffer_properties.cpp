@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+#include "wavemig/wave_schedule.hpp"
+
+namespace wavemig {
+namespace {
+
+/// Property sweep: for a spread of suite benchmarks and all strategies,
+/// buffer insertion must (a) balance every edge, (b) align outputs,
+/// (c) preserve the function, (d) never change depth, and (e) respect the
+/// strategy ordering naive >= chain = tree(inf).
+class buffer_property_test
+    : public ::testing::TestWithParam<std::tuple<std::string, buffer_strategy>> {};
+
+TEST_P(buffer_property_test, invariants_hold) {
+  const auto& [name, strategy] = GetParam();
+  const auto net = gen::build_benchmark(name);
+
+  buffer_insertion_options opts;
+  opts.strategy = strategy;
+  const auto result = insert_buffers(net, opts);
+
+  const auto readiness = check_wave_readiness(result.net);
+  EXPECT_TRUE(readiness.ready) << (readiness.issues.empty() ? "" : readiness.issues.front());
+  EXPECT_EQ(result.depth_after, result.depth_before);
+  EXPECT_TRUE(functionally_equivalent(net, result.net, 4));
+  EXPECT_EQ(result.net.num_majorities(), net.num_majorities());
+  EXPECT_EQ(result.net.num_pis(), net.num_pis());
+  EXPECT_EQ(result.net.num_pos(), net.num_pos());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    suite_sweep, buffer_property_test,
+    ::testing::Combine(::testing::Values("sasc", "mul8", "adder32", "hamming_codec", "barrel64",
+                                         "crc32_8", "voter101", "int2float16", "fsm_small",
+                                         "priority64"),
+                       ::testing::Values(buffer_strategy::naive, buffer_strategy::chain,
+                                         buffer_strategy::tree)),
+    [](const auto& info) {
+      const buffer_strategy s = std::get<1>(info.param);
+      const char* tag = s == buffer_strategy::naive   ? "naive"
+                        : s == buffer_strategy::chain ? "chain"
+                                                      : "tree";
+      return std::get<0>(info.param) + "_" + tag;
+    });
+
+class buffer_ordering_test : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(buffer_ordering_test, sharing_never_loses_to_naive) {
+  const auto net = gen::build_benchmark(GetParam());
+
+  buffer_insertion_options naive_opts;
+  naive_opts.strategy = buffer_strategy::naive;
+  buffer_insertion_options chain_opts;
+  chain_opts.strategy = buffer_strategy::chain;
+  buffer_insertion_options tree_opts;
+  tree_opts.strategy = buffer_strategy::tree;
+
+  const auto naive = insert_buffers(net, naive_opts);
+  const auto chain = insert_buffers(net, chain_opts);
+  const auto tree = insert_buffers(net, tree_opts);
+
+  EXPECT_LE(chain.buffers_added, naive.buffers_added);
+  EXPECT_EQ(chain.buffers_added, tree.buffers_added);
+}
+
+INSTANTIATE_TEST_SUITE_P(suite_sweep, buffer_ordering_test,
+                         ::testing::Values("sasc", "mul8", "mul16", "adder32", "dec8", "max32x4",
+                                           "parity64", "cmp128"),
+                         [](const auto& info) { return info.param; });
+
+class buffer_limit_test : public ::testing::TestWithParam<unsigned> {};
+
+/// Synthetic stress: one PI feeding `limit` consumers that all sit at level
+/// 3. The shared chain then carries `limit` taps on one vertex — exactly at
+/// capacity — and the tree construction must not exceed it anywhere.
+TEST_P(buffer_limit_test, capacity_never_exceeded_on_chain_taps) {
+  const unsigned limit = GetParam();
+  mig_network net;
+  const signal u = net.create_pi("u");
+  for (unsigned i = 0; i < limit; ++i) {
+    // Each consumer group uses fully private PIs so that u is the only
+    // multi-fan-out driver (degree exactly `limit`).
+    const signal t1 = net.create_maj(net.create_pi(), net.create_pi(), net.create_pi());
+    const signal t2 = net.create_maj(t1, net.create_pi(), net.create_pi());
+    net.create_po(net.create_maj(u, t2, net.create_pi()), "o" + std::to_string(i));
+  }
+  ASSERT_LE(max_fanout_degree(net), limit);
+
+  buffer_insertion_options opts;
+  opts.strategy = buffer_strategy::tree;
+  opts.fanout_limit = limit;
+  const auto result = insert_buffers(net, opts);
+  EXPECT_LE(max_fanout_degree(result.net), limit);
+  EXPECT_TRUE(check_wave_readiness(result.net).ready);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+}
+
+INSTANTIATE_TEST_SUITE_P(limits, buffer_limit_test, ::testing::Values(2u, 3u, 4u, 5u),
+                         [](const auto& info) { return "limit" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace wavemig

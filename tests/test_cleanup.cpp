@@ -1,0 +1,89 @@
+#include "wavemig/cleanup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/random_mig.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(cleanup, removes_unreferenced_gates) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  const signal c = net.create_pi("c");
+  const signal used = net.create_maj(a, b, c);
+  net.create_maj(used, !a, b);  // dangling
+  net.create_maj(!used, a, c);  // dangling
+  net.create_po(used, "f");
+
+  const auto cleaned = cleanup_dangling(net);
+  EXPECT_EQ(cleaned.num_majorities(), 1u);
+  EXPECT_TRUE(functionally_equivalent(net, cleaned));
+}
+
+TEST(cleanup, preserves_unused_pis_and_interface_order) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  net.create_pi("unused");
+  const signal c = net.create_pi("c");
+  net.create_po(net.create_and(a, c), "f");
+  net.create_po(!a, "g");
+
+  const auto cleaned = cleanup_dangling(net);
+  EXPECT_EQ(cleaned.num_pis(), 3u);
+  EXPECT_EQ(cleaned.pi_name(1), "unused");
+  EXPECT_EQ(cleaned.num_pos(), 2u);
+  EXPECT_EQ(cleaned.po_name(0), "f");
+  EXPECT_EQ(cleaned.po_name(1), "g");
+  EXPECT_TRUE(functionally_equivalent(net, cleaned));
+}
+
+TEST(cleanup, keeps_buffers_and_fanout_gates) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal g = net.create_and(a, b);
+  const signal buf = net.create_buffer(g);
+  const signal fog = net.create_fanout(buf);
+  net.create_buffer(g);  // dangling buffer must disappear
+  net.create_po(fog, "f");
+
+  const auto cleaned = cleanup_dangling(net);
+  EXPECT_EQ(cleaned.num_buffers(), 1u);
+  EXPECT_EQ(cleaned.num_fanout_gates(), 1u);
+  EXPECT_TRUE(functionally_equivalent(net, cleaned));
+}
+
+TEST(cleanup, constant_outputs_survive) {
+  mig_network net;
+  net.create_pi();
+  net.create_po(constant1, "one");
+  net.create_po(constant0, "zero");
+  const auto cleaned = cleanup_dangling(net);
+  EXPECT_EQ(cleaned.po_signal(0), constant1);
+  EXPECT_EQ(cleaned.po_signal(1), constant0);
+}
+
+TEST(cleanup, idempotent_on_clean_networks) {
+  const auto net = gen::multiplier_circuit(6);
+  const auto once = cleanup_dangling(net);
+  const auto twice = cleanup_dangling(once);
+  EXPECT_EQ(once.num_majorities(), twice.num_majorities());
+  EXPECT_EQ(once.num_nodes(), twice.num_nodes());
+  EXPECT_TRUE(functionally_equivalent(once, twice));
+}
+
+TEST(cleanup, random_networks_preserve_function) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto net = gen::random_mig({16, 300, 0.4, 16, seed});
+    const auto cleaned = cleanup_dangling(net);
+    EXPECT_TRUE(functionally_equivalent(net, cleaned)) << "seed " << seed;
+    EXPECT_LE(cleaned.num_majorities(), net.num_majorities());
+  }
+}
+
+}  // namespace
+}  // namespace wavemig

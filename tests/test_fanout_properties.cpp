@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "wavemig/fanout_restriction.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+/// Sweep: fan-out restriction at every limit over a suite slice must keep
+/// (a) the native-single-output discipline, (b) functional equivalence,
+/// (c) monotone depth, and (d) the exact minimum-FOG formula per driver.
+class fanout_property_test
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>> {};
+
+TEST_P(fanout_property_test, invariants_hold) {
+  const auto& [name, limit] = GetParam();
+  const auto net = gen::build_benchmark(name);
+  const auto result = restrict_fanout(net, {limit, true});
+
+  // (a) degree discipline
+  const auto fo = compute_fanouts(result.net);
+  result.net.foreach_node([&](node_index n) {
+    if (result.net.is_constant(n)) {
+      return;
+    }
+    if (result.net.is_fanout_gate(n)) {
+      EXPECT_LE(fo.degree(n), limit);
+    } else {
+      EXPECT_LE(fo.degree(n), 1u);
+    }
+  });
+
+  // (b) function preserved
+  EXPECT_TRUE(functionally_equivalent(net, result.net, 4));
+
+  // (c) depth monotone
+  EXPECT_GE(result.depth_after, result.depth_before);
+
+  // (d) exact FOG count: sum over drivers of ceil((m-1)/(k-1)).
+  const auto original_fo = compute_fanouts(net);
+  std::size_t expected = 0;
+  net.foreach_node([&](node_index n) {
+    if (net.is_constant(n)) {
+      return;
+    }
+    const std::size_t m = original_fo.degree(n);
+    if (m >= 2) {
+      expected += (m - 1 + limit - 2) / (limit - 1);
+    }
+  });
+  EXPECT_EQ(result.fogs_added, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    suite_sweep, fanout_property_test,
+    ::testing::Combine(::testing::Values("sasc", "mul8", "adder32", "crc32_8", "barrel64",
+                                         "int2float16", "hamming_codec", "dec8"),
+                       ::testing::Values(2u, 3u, 4u, 5u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+class fanout_cp_growth_test : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(fanout_cp_growth_test, tighter_limits_grow_critical_paths_more) {
+  const auto net = gen::build_benchmark(GetParam());
+  std::uint32_t previous = std::numeric_limits<std::uint32_t>::max();
+  for (unsigned k : {2u, 3u, 4u, 5u}) {
+    const auto result = restrict_fanout(net, {k, true});
+    EXPECT_LE(result.depth_after, previous) << "k=" << k;
+    previous = result.depth_after;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(suite_sweep, fanout_cp_growth_test,
+                         ::testing::Values("sasc", "mul8", "mul16", "parity64", "max32x4"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,173 @@
+#include "wavemig/fanout_restriction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+/// Degree of every non-FOG component must be 1 and of every FOG at most
+/// `limit` under the paper's native-single-output model.
+void expect_restricted(const mig_network& net, unsigned limit) {
+  const auto fo = compute_fanouts(net);
+  net.foreach_node([&](node_index n) {
+    if (net.is_constant(n)) {
+      return;
+    }
+    if (net.is_fanout_gate(n)) {
+      EXPECT_LE(fo.degree(n), limit) << "FOG " << n;
+    } else {
+      EXPECT_LE(fo.degree(n), 1u) << "node " << n;
+    }
+  });
+}
+
+/// Star: one shared driver `u`, `m` consumers at the same level; all other
+/// PIs are private to one consumer, so only u needs a FOG tree.
+mig_network star_example(unsigned m) {
+  mig_network net;
+  const signal u = net.create_pi("u");
+  for (unsigned i = 0; i < m; ++i) {
+    const signal p = net.create_pi();
+    const signal q = net.create_pi();
+    net.create_po(net.create_maj(u, p, q), "o" + std::to_string(i));
+  }
+  return net;
+}
+
+TEST(fanout_restriction, fig6_example_six_consumers_limit3) {
+  // The paper's Fig. 6: m = 6 consumers, limit 3 -> exactly
+  // ceil((6-1)/(3-1)) = 3 fan-out gates.
+  const auto net = star_example(6);
+  const auto result = restrict_fanout(net, {3, true});
+  EXPECT_EQ(result.fogs_added, 3u);
+  expect_restricted(result.net, 3);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+}
+
+TEST(fanout_restriction, minimum_fog_count_formula) {
+  for (unsigned m : {2u, 3u, 4u, 5u, 7u, 10u, 16u}) {
+    for (unsigned k : {2u, 3u, 4u, 5u}) {
+      const auto net = star_example(m);
+      const auto result = restrict_fanout(net, {k, true});
+      const std::size_t per_driver = (m - 1 + k - 2) / (k - 1);
+      EXPECT_EQ(result.fogs_added, per_driver) << "m=" << m << " k=" << k;
+      expect_restricted(result.net, k);
+    }
+  }
+}
+
+TEST(fanout_restriction, single_consumers_untouched) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal m1 = net.create_maj(a, b, c);
+  net.create_po(m1);
+  const auto result = restrict_fanout(net, {2, true});
+  EXPECT_EQ(result.fogs_added, 0u);
+  EXPECT_EQ(result.buffers_added, 0u);
+  EXPECT_EQ(result.depth_after, result.depth_before);
+}
+
+TEST(fanout_restriction, constants_never_restricted) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  // Many AND/OR gates all consuming constants.
+  signal acc = net.create_and(a, b);
+  for (int i = 0; i < 10; ++i) {
+    acc = i % 2 ? net.create_and(acc, a) : net.create_or(acc, b);
+  }
+  net.create_po(acc);
+  const auto result = restrict_fanout(net, {2, true});
+  const auto fo = compute_fanouts(result.net);
+  EXPECT_TRUE(fo.edges[0].empty());
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+}
+
+TEST(fanout_restriction, deep_consumers_absorb_tree_depth) {
+  // u feeds one consumer at level 1 and one at level 4; with limit 2 a
+  // single FOG suffices and the deep consumer should absorb tree depth,
+  // leaving the critical path unchanged.
+  mig_network net;
+  const signal u = net.create_pi("u");
+  auto fresh_pair = [&](signal anchor) {
+    return net.create_maj(anchor, net.create_pi(), net.create_pi());
+  };
+  const signal fast = fresh_pair(u);     // level 1, only consumer is t2
+  const signal t2 = fresh_pair(fast);    // level 2
+  const signal t3 = fresh_pair(t2);      // level 3
+  const signal slow = net.create_maj(u, t3, net.create_pi());  // level 4, slack 3 on u
+  net.create_po(slow, "slow");
+
+  const auto before = compute_levels(net).depth;
+  const auto result = restrict_fanout(net, {2, true});
+  EXPECT_EQ(result.fogs_added, 1u);
+  EXPECT_EQ(result.depth_after, before + 1)
+      << "fast consumer is delayed by the FOG, slow consumer absorbs it";
+  expect_restricted(result.net, 2);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+}
+
+TEST(fanout_restriction, residual_stretching_adds_buffers) {
+  const auto net = gen::multiplier_circuit(4);
+  const auto with = restrict_fanout(net, {3, true});
+  const auto without = restrict_fanout(net, {3, false});
+  EXPECT_GT(with.buffers_added, 0u);
+  EXPECT_EQ(without.buffers_added, 0u);
+  // FOG count is independent of stretching (paper Fig. 8 observation (b)).
+  EXPECT_EQ(with.fogs_added, without.fogs_added);
+  EXPECT_TRUE(functionally_equivalent(net, with.net));
+  EXPECT_TRUE(functionally_equivalent(net, without.net));
+}
+
+TEST(fanout_restriction, idempotent) {
+  const auto net = gen::multiplier_circuit(4);
+  const auto once = restrict_fanout(net, {3, true});
+  const auto twice = restrict_fanout(once.net, {3, true});
+  EXPECT_EQ(twice.fogs_added, 0u);
+  EXPECT_EQ(twice.buffers_added, 0u);
+  EXPECT_EQ(twice.net.num_components(), once.net.num_components());
+}
+
+TEST(fanout_restriction, critical_path_grows_more_for_tighter_limits) {
+  const auto net = gen::multiplier_circuit(6);
+  std::uint32_t previous = std::numeric_limits<std::uint32_t>::max();
+  for (unsigned k : {2u, 3u, 4u, 5u}) {
+    const auto result = restrict_fanout(net, {k, true});
+    EXPECT_GE(result.depth_after, result.depth_before);
+    EXPECT_LE(result.depth_after, previous)
+        << "limit " << k << " should not be worse than " << k - 1;
+    previous = result.depth_after;
+    expect_restricted(result.net, k);
+  }
+}
+
+TEST(fanout_restriction, pos_count_as_consumers) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal m = net.create_maj(a, b, c);
+  for (int i = 0; i < 4; ++i) {
+    net.create_po(m, "o" + std::to_string(i));
+  }
+  const auto result = restrict_fanout(net, {3, true});
+  // 4 PO consumers -> ceil(3/2) = 2 FOGs for m.
+  EXPECT_EQ(result.fogs_added, 2u);
+  expect_restricted(result.net, 3);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+}
+
+TEST(fanout_restriction, rejects_limit_below_two) {
+  const auto net = star_example(3);
+  EXPECT_THROW(restrict_fanout(net, {1, true}), std::invalid_argument);
+  EXPECT_THROW(restrict_fanout(net, {0, true}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,115 @@
+#include "wavemig/functional_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/random_mig.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(functional_reduction, merges_disguised_majority) {
+  // g = (a&b) | ((a|b)&c) equals M(a,b,c) but is built from four distinct
+  // gates; structural hashing cannot merge them, cut functions can.
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal direct = net.create_maj(a, b, c);
+  const signal disguised = net.create_or(net.create_and(a, b), net.create_and(net.create_or(a, b), c));
+  net.create_po(direct, "f");
+  net.create_po(disguised, "g");
+  ASSERT_EQ(net.num_majorities(), 5u);
+
+  const auto result = reduce_functionally(net);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+  EXPECT_LT(result.net.num_majorities(), net.num_majorities());
+  // Both outputs must now share one driver.
+  EXPECT_EQ(result.net.po_signal(0).index(), result.net.po_signal(1).index());
+}
+
+TEST(functional_reduction, merges_complemented_equivalents) {
+  // h = !(!a & !b) equals a | b: merged up to complement.
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal plain = net.create_or(a, b);
+  // Build the complement through a different structure involving c.
+  const signal round_about = !net.create_and(net.create_and(!a, !b), net.create_or(c, !c));
+  net.create_po(net.create_and(plain, c), "f");
+  net.create_po(net.create_and(round_about, c), "g");
+
+  const auto result = reduce_functionally(net);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+  EXPECT_LE(result.net.num_majorities(), net.num_majorities());
+}
+
+TEST(functional_reduction, detects_constant_cones) {
+  // (a & b) & (!a | !b) is constant 0 over the cut {a, b}.
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal zero = net.create_and(net.create_and(a, b), net.create_or(!a, !b));
+  net.create_po(zero, "z");
+  const auto result = reduce_functionally(net);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+  EXPECT_EQ(result.net.num_majorities(), 0u);
+  EXPECT_EQ(result.net.po_signal(0), constant0);
+}
+
+TEST(functional_reduction, preserves_function_on_random_networks) {
+  for (std::uint64_t seed : {61ull, 62ull, 63ull, 64ull}) {
+    const auto net = gen::random_mig({12, 400, 0.4, 12, seed});
+    const auto result = reduce_functionally(net);
+    EXPECT_TRUE(functionally_equivalent(net, result.net)) << "seed " << seed;
+    EXPECT_LE(result.net.num_majorities(), net.num_majorities()) << "seed " << seed;
+  }
+}
+
+TEST(functional_reduction, preserves_function_on_suite_circuits) {
+  for (const auto& name : {"mul8", "sasc", "crc32_8", "hamming_codec", "int2float16"}) {
+    const auto net = gen::build_benchmark(name);
+    const auto result = reduce_functionally(net);
+    EXPECT_TRUE(functionally_equivalent(net, result.net, 4)) << name;
+    EXPECT_LE(result.net.num_majorities(), net.num_majorities()) << name;
+  }
+}
+
+TEST(functional_reduction, physical_components_are_barriers) {
+  // Buffers must not be merged through: a buffered copy is a distinct
+  // physical path even when functionally identical.
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal m = net.create_maj(a, b, c);
+  const signal buffered = net.create_buffer(m);
+  net.create_po(m, "direct");
+  net.create_po(buffered, "delayed");
+  const auto result = reduce_functionally(net);
+  EXPECT_EQ(result.net.num_buffers(), 1u);
+  EXPECT_NE(result.net.po_signal(0), result.net.po_signal(1));
+}
+
+TEST(functional_reduction, idempotent) {
+  const auto net = gen::random_mig({10, 200, 0.5, 10, 71});
+  const auto once = reduce_functionally(net);
+  const auto twice = reduce_functionally(once.net);
+  EXPECT_EQ(twice.net.num_majorities(), once.net.num_majorities());
+  EXPECT_TRUE(functionally_equivalent(once.net, twice.net));
+}
+
+TEST(functional_reduction, interface_preserved) {
+  const auto net = gen::multiplier_circuit(4);
+  const auto result = reduce_functionally(net);
+  ASSERT_EQ(result.net.num_pis(), net.num_pis());
+  ASSERT_EQ(result.net.num_pos(), net.num_pos());
+  EXPECT_EQ(result.net.pi_name(0), net.pi_name(0));
+  EXPECT_EQ(result.net.po_name(0), net.po_name(0));
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,255 @@
+#include "wavemig/gen/arith.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+std::vector<bool> to_bits(std::uint64_t value, unsigned width) {
+  std::vector<bool> bits(width);
+  for (unsigned i = 0; i < width; ++i) {
+    bits[i] = (value >> i) & 1u;
+  }
+  return bits;
+}
+
+std::uint64_t from_bits(const std::vector<bool>& bits, unsigned begin, unsigned count) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    v |= static_cast<std::uint64_t>(bits[begin + i]) << i;
+  }
+  return v;
+}
+
+class adder_width_test : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(adder_width_test, matches_integer_addition) {
+  const unsigned w = GetParam();
+  const auto net = gen::ripple_adder_circuit(w);
+  std::mt19937_64 rng{w};
+  const std::uint64_t mask = w == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << w) - 1;
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t a = rng() & mask;
+    const std::uint64_t b = rng() & mask;
+    auto in = to_bits(a, w);
+    const auto bb = to_bits(b, w);
+    in.insert(in.end(), bb.begin(), bb.end());
+    const auto out = simulate_pattern(net, in);
+    const std::uint64_t sum = from_bits(out, 0, w);
+    const bool carry = out[w];
+    if (w < 64) {
+      EXPECT_EQ(sum | (static_cast<std::uint64_t>(carry) << w), a + b);
+    } else {
+      const auto wide = static_cast<unsigned __int128>(a) + b;
+      EXPECT_EQ(sum, static_cast<std::uint64_t>(wide));
+      EXPECT_EQ(carry, static_cast<bool>(wide >> 64));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, adder_width_test, ::testing::Values(1u, 2u, 7u, 8u, 16u, 33u),
+                         [](const auto& info) { return "w" + std::to_string(info.param); });
+
+class multiplier_width_test : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(multiplier_width_test, matches_integer_multiplication) {
+  const unsigned w = GetParam();
+  const auto net = gen::multiplier_circuit(w);
+  std::mt19937_64 rng{17 * w};
+  const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t a = rng() & mask;
+    const std::uint64_t b = rng() & mask;
+    auto in = to_bits(a, w);
+    const auto bb = to_bits(b, w);
+    in.insert(in.end(), bb.begin(), bb.end());
+    const auto out = simulate_pattern(net, in);
+    EXPECT_EQ(from_bits(out, 0, 2 * w), a * b) << a << " * " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, multiplier_width_test, ::testing::Values(2u, 3u, 5u, 8u, 12u),
+                         [](const auto& info) { return "w" + std::to_string(info.param); });
+
+TEST(arith, mac_matches_reference) {
+  const unsigned w = 6;
+  const auto net = gen::mac_circuit(w);
+  std::mt19937_64 rng{5};
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t a = rng() & 0x3Fu;
+    const std::uint64_t b = rng() & 0x3Fu;
+    const std::uint64_t c = rng() & 0x3Fu;
+    std::vector<bool> in;
+    for (auto v : {a, b, c}) {
+      const auto bits = to_bits(v, w);
+      in.insert(in.end(), bits.begin(), bits.end());
+    }
+    const auto out = simulate_pattern(net, in);
+    EXPECT_EQ(from_bits(out, 0, 2 * w), a * b + c);
+  }
+}
+
+TEST(arith, hamming_distance_matches_popcount) {
+  const unsigned w = 16;
+  const auto net = gen::hamming_distance_circuit(w);
+  std::mt19937_64 rng{7};
+  for (int round = 0; round < 60; ++round) {
+    const std::uint64_t a = rng() & 0xFFFFu;
+    const std::uint64_t b = rng() & 0xFFFFu;
+    auto in = to_bits(a, w);
+    const auto bb = to_bits(b, w);
+    in.insert(in.end(), bb.begin(), bb.end());
+    const auto out = simulate_pattern(net, in);
+    const auto expected = static_cast<std::uint64_t>(std::popcount(a ^ b));
+    EXPECT_EQ(from_bits(out, 0, static_cast<unsigned>(out.size())), expected);
+  }
+}
+
+TEST(arith, hamming_codec_corrects_single_errors) {
+  const auto net = gen::hamming_codec_circuit(4);  // (15,11)
+  std::mt19937_64 rng{9};
+  for (int round = 0; round < 30; ++round) {
+    const std::uint64_t data = rng() & 0x7FFu;  // 11 bits
+    for (int err = -1; err < 15; ++err) {       // -1: no error, else flip bit
+      std::vector<bool> in = to_bits(data, 11);
+      std::vector<bool> mask(15, false);
+      if (err >= 0) {
+        mask[err] = true;
+      }
+      in.insert(in.end(), mask.begin(), mask.end());
+      const auto out = simulate_pattern(net, in);
+      EXPECT_EQ(from_bits(out, 0, 11), data) << "error position " << err;
+    }
+  }
+}
+
+TEST(arith, parity_matches_xor_reduction) {
+  const auto net = gen::parity_circuit(12);
+  std::mt19937_64 rng{3};
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t v = rng() & 0xFFFu;
+    const auto out = simulate_pattern(net, to_bits(v, 12));
+    EXPECT_EQ(out[0], std::popcount(v) % 2 == 1);
+  }
+}
+
+TEST(arith, comparator_triple) {
+  const auto net = gen::comparator_circuit(8);
+  std::mt19937_64 rng{21};
+  for (int round = 0; round < 80; ++round) {
+    const std::uint64_t a = rng() & 0xFFu;
+    const std::uint64_t b = rng() & 0xFFu;
+    auto in = to_bits(a, 8);
+    const auto bb = to_bits(b, 8);
+    in.insert(in.end(), bb.begin(), bb.end());
+    const auto out = simulate_pattern(net, in);
+    EXPECT_EQ(out[0], a < b);
+    EXPECT_EQ(out[1], a == b);
+    EXPECT_EQ(out[2], a > b);
+  }
+}
+
+TEST(arith, max_of_four) {
+  const auto net = gen::max_circuit(6, 4);
+  std::mt19937_64 rng{13};
+  for (int round = 0; round < 50; ++round) {
+    std::uint64_t values[4];
+    std::vector<bool> in;
+    std::uint64_t expected = 0;
+    for (auto& v : values) {
+      v = rng() & 0x3Fu;
+      expected = std::max(expected, v);
+      const auto bits = to_bits(v, 6);
+      in.insert(in.end(), bits.begin(), bits.end());
+    }
+    const auto out = simulate_pattern(net, in);
+    EXPECT_EQ(from_bits(out, 0, 6), expected);
+  }
+}
+
+TEST(arith, popcount_word_is_binary_count) {
+  mig_network net;
+  const auto in = gen::make_input_word(net, 11, "x");
+  gen::make_output_word(net, gen::popcount(net, in), "c");
+  std::mt19937_64 rng{31};
+  for (int round = 0; round < 60; ++round) {
+    const std::uint64_t v = rng() & 0x7FFu;
+    const auto out = simulate_pattern(net, to_bits(v, 11));
+    EXPECT_EQ(from_bits(out, 0, static_cast<unsigned>(out.size())),
+              static_cast<std::uint64_t>(std::popcount(v)));
+  }
+}
+
+TEST(arith, popcount_depth_is_logarithmic) {
+  mig_network net;
+  const auto in = gen::make_input_word(net, 64, "x");
+  gen::make_output_word(net, gen::popcount(net, in), "c");
+  EXPECT_LE(compute_levels(net).depth, 30u);
+}
+
+TEST(arith, diffeq_step_matches_reference_model) {
+  const unsigned w = 8;
+  const auto net = gen::diffeq_circuit(w);
+  std::mt19937_64 rng{37};
+  const std::uint64_t mask = 0xFFu;
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t x = rng() & mask;
+    const std::uint64_t y = rng() & mask;
+    const std::uint64_t u = rng() & mask;
+    const std::uint64_t dx = rng() & mask;
+    std::vector<bool> in;
+    for (auto v : {x, y, u, dx}) {
+      const auto bits = to_bits(v, w);
+      in.insert(in.end(), bits.begin(), bits.end());
+    }
+    const auto out = simulate_pattern(net, in);
+    const std::uint64_t x1 = (x + dx) & mask;
+    const std::uint64_t y1 = (y + u * dx) & mask;
+    const std::uint64_t t1 = (3 * ((x * u & mask) * dx & mask)) & mask;
+    const std::uint64_t t2 = (3 * (y * dx & mask)) & mask;
+    const std::uint64_t u1 = (u - t1 - t2) & mask;
+    EXPECT_EQ(from_bits(out, 0, w), x1);
+    EXPECT_EQ(from_bits(out, w, w), y1);
+    EXPECT_EQ(from_bits(out, 2 * w, w), u1);
+  }
+}
+
+TEST(arith, sub_ripple_two_complement) {
+  mig_network net;
+  const auto a = gen::make_input_word(net, 8, "a");
+  const auto b = gen::make_input_word(net, 8, "b");
+  auto [diff, no_borrow] = gen::sub_ripple(net, a, b);
+  gen::make_output_word(net, diff, "d");
+  net.create_po(no_borrow, "nb");
+  std::mt19937_64 rng{41};
+  for (int round = 0; round < 60; ++round) {
+    const std::uint64_t x = rng() & 0xFFu;
+    const std::uint64_t y = rng() & 0xFFu;
+    auto in = to_bits(x, 8);
+    const auto bb = to_bits(y, 8);
+    in.insert(in.end(), bb.begin(), bb.end());
+    const auto out = simulate_pattern(net, in);
+    EXPECT_EQ(from_bits(out, 0, 8), (x - y) & 0xFFu);
+    EXPECT_EQ(out[8], x >= y);
+  }
+}
+
+TEST(arith, input_validation) {
+  mig_network net;
+  const auto a = gen::make_input_word(net, 4, "a");
+  const auto b = gen::make_input_word(net, 5, "b");
+  EXPECT_THROW(gen::add_ripple(net, a, b, constant0), std::invalid_argument);
+  EXPECT_THROW(gen::multiply_array(net, a, b), std::invalid_argument);
+  EXPECT_THROW(gen::mux_word(net, a[0], a, b), std::invalid_argument);
+  EXPECT_THROW(gen::hamming_codec_circuit(1), std::invalid_argument);
+  EXPECT_THROW(gen::max_circuit(4, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavemig

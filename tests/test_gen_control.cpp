@@ -1,0 +1,87 @@
+#include "wavemig/gen/control.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(control_circuit, interface_matches_profile) {
+  gen::control_profile p;
+  p.inputs = 10;
+  p.outputs = 7;
+  p.state_bits = 2;
+  const auto net = gen::control_circuit(p);
+  EXPECT_EQ(net.num_pis(), 12u);  // inputs + state bits
+  EXPECT_EQ(net.num_pos(), 7u);
+}
+
+TEST(control_circuit, deterministic_per_seed) {
+  gen::control_profile p;
+  p.seed = 42;
+  const auto a = gen::control_circuit(p);
+  const auto b = gen::control_circuit(p);
+  EXPECT_EQ(a.num_majorities(), b.num_majorities());
+  EXPECT_TRUE(functionally_equivalent(a, b));
+
+  p.seed = 43;
+  const auto c = gen::control_circuit(p);
+  EXPECT_FALSE(functionally_equivalent(a, c));
+}
+
+TEST(control_circuit, profile_scales_size) {
+  gen::control_profile small;
+  small.outputs = 4;
+  small.cubes_per_output = 4;
+  gen::control_profile big = small;
+  big.outputs = 16;
+  big.cubes_per_output = 12;
+  EXPECT_GT(gen::control_circuit(big).num_majorities(),
+            gen::control_circuit(small).num_majorities());
+}
+
+TEST(control_circuit, stays_shallow) {
+  // Controller profiles model wide, shallow random logic: depth must stay
+  // far below the arithmetic benchmarks (paper Table II: SASC depth 6).
+  gen::control_profile p;
+  const auto net = gen::control_circuit(p);
+  EXPECT_LE(compute_levels(net).depth, 20u);
+}
+
+TEST(control_circuit, rejects_empty_interface) {
+  gen::control_profile p;
+  p.inputs = 0;
+  EXPECT_THROW(gen::control_circuit(p), std::invalid_argument);
+  p.inputs = 4;
+  p.outputs = 0;
+  EXPECT_THROW(gen::control_circuit(p), std::invalid_argument);
+}
+
+TEST(fsm_circuit, interface_and_determinism) {
+  const auto a = gen::fsm_circuit(3, 5, 11);
+  EXPECT_EQ(a.num_pis(), 8u);
+  EXPECT_EQ(a.num_pos(), 3u);
+  const auto b = gen::fsm_circuit(3, 5, 11);
+  EXPECT_TRUE(functionally_equivalent(a, b));
+  EXPECT_FALSE(functionally_equivalent(a, gen::fsm_circuit(3, 5, 12)));
+}
+
+TEST(fsm_circuit, bounds_checked) {
+  EXPECT_THROW(gen::fsm_circuit(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(gen::fsm_circuit(10, 10, 1), std::invalid_argument);
+}
+
+TEST(fsm_circuit, outputs_depend_on_state_and_inputs) {
+  // A random 9-var function is almost surely non-constant and non-trivial.
+  const auto net = gen::fsm_circuit(3, 6, 21);
+  const auto tts = simulate_truth_tables(net);
+  for (const auto& tt : tts) {
+    EXPECT_GT(tt.count_ones(), 0u);
+    EXPECT_LT(tt.count_ones(), tt.num_bits());
+  }
+}
+
+}  // namespace
+}  // namespace wavemig

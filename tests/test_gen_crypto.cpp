@@ -1,0 +1,189 @@
+#include "wavemig/gen/crypto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(des_sbox, known_spec_values) {
+  // Spot checks against FIPS 46-3 (S1 and S8).
+  EXPECT_EQ(gen::des_sbox(0)[0][0], 14);
+  EXPECT_EQ(gen::des_sbox(0)[1][0], 0);
+  EXPECT_EQ(gen::des_sbox(0)[3][15], 13);
+  EXPECT_EQ(gen::des_sbox(7)[0][0], 13);
+  EXPECT_EQ(gen::des_sbox(7)[3][15], 11);
+  EXPECT_THROW(gen::des_sbox(8), std::invalid_argument);
+}
+
+TEST(des_sbox, every_row_is_a_permutation) {
+  // Each S-box row permutes 0..15 (a property of the DES spec; catches
+  // transcription errors in the embedded tables).
+  for (unsigned box = 0; box < 8; ++box) {
+    for (unsigned row = 0; row < 4; ++row) {
+      std::array<bool, 16> seen{};
+      for (unsigned col = 0; col < 16; ++col) {
+        const auto v = gen::des_sbox(box)[row][col];
+        ASSERT_LT(v, 16);
+        EXPECT_FALSE(seen[v]) << "box " << box << " row " << row;
+        seen[v] = true;
+      }
+    }
+  }
+}
+
+TEST(des_sbox, network_matches_table_exhaustively) {
+  for (unsigned box = 0; box < 8; ++box) {
+    mig_network net;
+    std::array<signal, 6> in{};
+    for (auto& s : in) {
+      s = net.create_pi();
+    }
+    const auto out = gen::des_sbox_network(net, in, box);
+    for (const auto s : out) {
+      net.create_po(s);
+    }
+    const auto tts = simulate_truth_tables(net);
+    for (unsigned v = 0; v < 64; ++v) {
+      const unsigned row = ((v >> 5) << 1) | (v & 1u);
+      const unsigned col = (v >> 1) & 0xFu;
+      const unsigned expected = gen::des_sbox(box)[row][col];
+      for (unsigned bit = 0; bit < 4; ++bit) {
+        EXPECT_EQ(tts[bit].get_bit(v), ((expected >> bit) & 1u) != 0)
+            << "box " << box << " input " << v << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(des_circuit, matches_software_feistel_reference) {
+  constexpr std::array<std::uint8_t, 48> expansion{
+      32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
+      12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
+      22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+  constexpr std::array<std::uint8_t, 32> permutation{
+      16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
+      2,  8, 24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25};
+
+  const unsigned rounds = 2;
+  const auto net = gen::des_circuit(rounds);
+  ASSERT_EQ(net.num_pis(), 128u);
+  ASSERT_EQ(net.num_pos(), 64u);
+
+  std::mt19937_64 rng{71};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<bool> in(128);
+    for (auto&& b : in) {
+      b = (rng() & 1u) != 0;
+    }
+    // Software reference.
+    std::vector<bool> left(in.begin(), in.begin() + 32);
+    std::vector<bool> right(in.begin() + 32, in.begin() + 64);
+    const std::vector<bool> key(in.begin() + 64, in.end());
+    for (unsigned r = 0; r < rounds; ++r) {
+      std::array<bool, 48> expanded{};
+      for (unsigned i = 0; i < 48; ++i) {
+        expanded[i] = right[expansion[i] - 1] ^ key[(i + 7 * r) % 64];
+      }
+      std::array<bool, 32> substituted{};
+      for (unsigned box = 0; box < 8; ++box) {
+        const bool* e = &expanded[box * 6];
+        const unsigned row = (e[0] ? 2u : 0u) | (e[5] ? 1u : 0u);
+        const unsigned col = (e[1] ? 8u : 0u) | (e[2] ? 4u : 0u) | (e[3] ? 2u : 0u) |
+                             (e[4] ? 1u : 0u);
+        const unsigned s = gen::des_sbox(box)[row][col];
+        for (unsigned bit = 0; bit < 4; ++bit) {
+          substituted[box * 4 + (3 - bit)] = ((s >> bit) & 1u) != 0;
+        }
+      }
+      std::vector<bool> mixed(32);
+      for (unsigned i = 0; i < 32; ++i) {
+        mixed[i] = left[i] ^ substituted[permutation[i] - 1];
+      }
+      left = right;
+      right = mixed;
+    }
+
+    const auto out = simulate_pattern(net, in);
+    for (unsigned i = 0; i < 32; ++i) {
+      EXPECT_EQ(out[i], left[i]) << "left bit " << i;
+      EXPECT_EQ(out[32 + i], right[i]) << "right bit " << i;
+    }
+  }
+}
+
+TEST(des_circuit, rounds_scale_size_and_depth) {
+  const auto two = gen::des_circuit(2);
+  const auto four = gen::des_circuit(4);
+  EXPECT_GT(four.num_majorities(), two.num_majorities());
+  EXPECT_GT(compute_levels(four).depth, compute_levels(two).depth);
+  EXPECT_THROW(gen::des_circuit(0), std::invalid_argument);
+}
+
+TEST(reversible_cascade, deterministic_and_reversible_sampled) {
+  const auto a = gen::reversible_cascade_circuit(8, 60, 5);
+  const auto b = gen::reversible_cascade_circuit(8, 60, 5);
+  EXPECT_EQ(a.num_majorities(), b.num_majorities());
+  EXPECT_TRUE(functionally_equivalent(a, b));
+
+  // A Toffoli/CNOT/NOT cascade is a permutation of the 2^8 input space:
+  // all 256 outputs must be distinct.
+  const auto tts = simulate_truth_tables(a);
+  std::array<bool, 256> seen{};
+  for (unsigned v = 0; v < 256; ++v) {
+    unsigned out = 0;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      out |= static_cast<unsigned>(tts[bit].get_bit(v)) << bit;
+    }
+    EXPECT_FALSE(seen[out]) << "collision at input " << v;
+    seen[out] = true;
+  }
+}
+
+TEST(reversible_cascade, different_seeds_differ) {
+  const auto a = gen::reversible_cascade_circuit(8, 60, 5);
+  const auto b = gen::reversible_cascade_circuit(8, 60, 6);
+  EXPECT_FALSE(functionally_equivalent(a, b));
+  EXPECT_THROW(gen::reversible_cascade_circuit(2, 10, 1), std::invalid_argument);
+}
+
+TEST(crc32, matches_software_bitwise_crc) {
+  const unsigned data_bits = 8;
+  const auto net = gen::crc32_circuit(data_bits);
+  std::mt19937_64 rng{77};
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto state = static_cast<std::uint32_t>(rng());
+    const auto data = static_cast<std::uint8_t>(rng());
+
+    std::uint32_t crc = state;
+    for (unsigned i = 0; i < data_bits; ++i) {
+      const bool feedback = ((crc ^ (data >> i)) & 1u) != 0;
+      crc >>= 1;
+      if (feedback) {
+        crc ^= 0xEDB88320u;
+      }
+    }
+
+    std::vector<bool> in;
+    for (unsigned i = 0; i < 32; ++i) {
+      in.push_back((state >> i) & 1u);
+    }
+    for (unsigned i = 0; i < data_bits; ++i) {
+      in.push_back((data >> i) & 1u);
+    }
+    const auto out = simulate_pattern(net, in);
+    std::uint32_t result = 0;
+    for (unsigned i = 0; i < 32; ++i) {
+      result |= static_cast<std::uint32_t>(out[i]) << i;
+    }
+    EXPECT_EQ(result, crc);
+  }
+}
+
+}  // namespace
+}  // namespace wavemig

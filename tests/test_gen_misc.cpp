@@ -1,0 +1,143 @@
+#include "wavemig/gen/misc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(voter, majority_of_small_odd_counts) {
+  for (unsigned n : {3u, 5u, 7u, 9u, 11u}) {
+    const auto net = gen::voter_circuit(n);
+    std::mt19937_64 rng{n};
+    for (int trial = 0; trial < 40; ++trial) {
+      std::vector<bool> in(n);
+      unsigned ones = 0;
+      for (auto&& b : in) {
+        b = (rng() & 1u) != 0;
+        ones += b ? 1u : 0u;
+      }
+      const auto out = simulate_pattern(net, in);
+      EXPECT_EQ(out[0], ones > n / 2) << "n=" << n << " ones=" << ones;
+    }
+  }
+}
+
+TEST(voter, boundary_votes) {
+  const auto net = gen::voter_circuit(5);
+  // Exactly 2 of 5: reject; exactly 3 of 5: accept.
+  EXPECT_FALSE(simulate_pattern(net, {true, true, false, false, false})[0]);
+  EXPECT_TRUE(simulate_pattern(net, {true, true, true, false, false})[0]);
+  EXPECT_THROW(gen::voter_circuit(4), std::invalid_argument);
+  EXPECT_THROW(gen::voter_circuit(1), std::invalid_argument);
+}
+
+TEST(barrel_shifter, rotates_left_by_amount) {
+  const unsigned w = 16;
+  const auto net = gen::barrel_shifter_circuit(w);
+  std::mt19937_64 rng{5};
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto value = static_cast<std::uint16_t>(rng());
+    const unsigned amount = static_cast<unsigned>(rng()) % w;
+    std::vector<bool> in;
+    for (unsigned i = 0; i < w; ++i) {
+      in.push_back((value >> i) & 1u);
+    }
+    for (unsigned i = 0; i < 4; ++i) {
+      in.push_back((amount >> i) & 1u);
+    }
+    const auto out = simulate_pattern(net, in);
+    const auto expected = static_cast<std::uint16_t>((value << amount) | (value >> (w - amount)));
+    std::uint16_t result = 0;
+    for (unsigned i = 0; i < w; ++i) {
+      result |= static_cast<std::uint16_t>(out[i]) << i;
+    }
+    EXPECT_EQ(result, amount == 0 ? value : expected);
+  }
+}
+
+TEST(barrel_shifter, width_must_be_power_of_two) {
+  EXPECT_THROW(gen::barrel_shifter_circuit(12), std::invalid_argument);
+  EXPECT_THROW(gen::barrel_shifter_circuit(1), std::invalid_argument);
+}
+
+TEST(decoder, one_hot_exhaustive) {
+  const auto net = gen::decoder_circuit(4);
+  for (unsigned v = 0; v < 16; ++v) {
+    std::vector<bool> in;
+    for (unsigned b = 0; b < 4; ++b) {
+      in.push_back((v >> b) & 1u);
+    }
+    const auto out = simulate_pattern(net, in);
+    for (unsigned o = 0; o < 16; ++o) {
+      EXPECT_EQ(out[o], o == v) << "input " << v << " line " << o;
+    }
+  }
+  EXPECT_THROW(gen::decoder_circuit(0), std::invalid_argument);
+}
+
+TEST(priority_encoder, highest_bit_wins) {
+  const unsigned w = 16;
+  const auto net = gen::priority_encoder_circuit(w);
+  std::mt19937_64 rng{9};
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto req = static_cast<std::uint16_t>(rng());
+    std::vector<bool> in;
+    for (unsigned i = 0; i < w; ++i) {
+      in.push_back((req >> i) & 1u);
+    }
+    const auto out = simulate_pattern(net, in);
+    const bool valid = req != 0;
+    EXPECT_EQ(out[4], valid);
+    if (valid) {
+      const unsigned expected = 15u - static_cast<unsigned>(std::countl_zero(req));
+      unsigned index = 0;
+      for (unsigned b = 0; b < 4; ++b) {
+        index |= static_cast<unsigned>(out[b]) << b;
+      }
+      EXPECT_EQ(index, expected) << "req " << req;
+    }
+  }
+}
+
+TEST(arbiter, grants_first_request_at_or_after_pointer) {
+  const unsigned w = 8;
+  const auto net = gen::arbiter_circuit(w);
+  std::mt19937_64 rng{13};
+  for (int trial = 0; trial < 80; ++trial) {
+    const auto req = static_cast<std::uint8_t>(rng());
+    const unsigned ptr = static_cast<unsigned>(rng()) % w;
+    std::vector<bool> in;
+    for (unsigned i = 0; i < w; ++i) {
+      in.push_back((req >> i) & 1u);
+    }
+    for (unsigned b = 0; b < 3; ++b) {
+      in.push_back((ptr >> b) & 1u);
+    }
+    const auto out = simulate_pattern(net, in);
+
+    unsigned expected = w;  // none
+    for (unsigned step = 0; step < w; ++step) {
+      const unsigned pos = (ptr + step) % w;
+      if ((req >> pos) & 1u) {
+        expected = pos;
+        break;
+      }
+    }
+    for (unsigned g = 0; g < w; ++g) {
+      EXPECT_EQ(out[g], g == expected) << "req " << int(req) << " ptr " << ptr;
+    }
+  }
+}
+
+TEST(arbiter, width_must_be_power_of_two) {
+  EXPECT_THROW(gen::arbiter_circuit(6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,64 @@
+#include "wavemig/gen/random_mig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(random_mig, deterministic_per_seed) {
+  const gen::random_mig_profile p{16, 500, 0.4, 16, 7};
+  const auto a = gen::random_mig(p);
+  const auto b = gen::random_mig(p);
+  EXPECT_EQ(a.num_majorities(), b.num_majorities());
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_TRUE(functionally_equivalent(a, b));
+}
+
+TEST(random_mig, seeds_produce_different_networks) {
+  const auto a = gen::random_mig({16, 500, 0.4, 16, 7});
+  const auto b = gen::random_mig({16, 500, 0.4, 16, 8});
+  EXPECT_FALSE(functionally_equivalent(a, b));
+}
+
+TEST(random_mig, respects_interface_profile) {
+  const auto net = gen::random_mig({24, 800, 0.3, 10, 3});
+  EXPECT_EQ(net.num_pis(), 24u);
+  EXPECT_EQ(net.num_pos(), 10u);
+}
+
+TEST(random_mig, fully_live_after_cleanup) {
+  // random_mig runs cleanup internally: every gate must be reachable.
+  const auto net = gen::random_mig({16, 400, 0.5, 16, 11});
+  const auto fo = compute_fanouts(net);
+  std::size_t dead = 0;
+  net.foreach_gate([&](node_index n) {
+    if (fo.degree(n) == 0) {
+      ++dead;
+    }
+  });
+  EXPECT_EQ(dead, 0u) << "cleanup must remove dangling gates";
+}
+
+TEST(random_mig, locality_controls_depth) {
+  const auto shallow = gen::random_mig({32, 2000, 0.0, 32, 5});
+  const auto deep = gen::random_mig({32, 2000, 0.85, 32, 5});
+  EXPECT_LT(compute_levels(shallow).depth, compute_levels(deep).depth);
+}
+
+TEST(random_mig, gate_budget_is_an_upper_bound) {
+  const auto net = gen::random_mig({16, 1000, 0.4, 16, 13});
+  EXPECT_LE(net.num_majorities(), 1000u);
+  EXPECT_GT(net.num_majorities(), 100u);  // most of the budget materializes
+}
+
+TEST(random_mig, validates_profile) {
+  EXPECT_THROW(gen::random_mig({2, 100, 0.5, 4, 1}), std::invalid_argument);
+  EXPECT_THROW(gen::random_mig({8, 100, 1.0, 4, 1}), std::invalid_argument);
+  EXPECT_THROW(gen::random_mig({8, 100, -0.1, 4, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,170 @@
+#include "wavemig/io/blif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/io/mig_format.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(blif_reader, simple_and_or_cover) {
+  std::stringstream ss{R"(.model test
+.inputs a b c
+.outputs f g
+.names a b f
+11 1
+.names a b c g
+1-- 1
+-1- 1
+--1 1
+.end
+)"};
+  const auto net = io::read_blif(ss);
+  ASSERT_EQ(net.num_pis(), 3u);
+  ASSERT_EQ(net.num_pos(), 2u);
+  const auto tts = simulate_truth_tables(net);
+  const auto a = truth_table::nth_var(3, 0);
+  const auto b = truth_table::nth_var(3, 1);
+  const auto c = truth_table::nth_var(3, 2);
+  EXPECT_EQ(tts[0], a & b);
+  EXPECT_EQ(tts[1], a | b | c);
+}
+
+TEST(blif_reader, offset_cover_is_complemented) {
+  std::stringstream ss{R"(.model t
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+)"};
+  const auto net = io::read_blif(ss);
+  const auto tts = simulate_truth_tables(net);
+  EXPECT_EQ(tts[0], ~(truth_table::nth_var(2, 0) & truth_table::nth_var(2, 1)));
+}
+
+TEST(blif_reader, constants) {
+  std::stringstream ss{R"(.model t
+.inputs a
+.outputs one zero f
+.names one
+1
+.names zero
+.names a f
+1 1
+.end
+)"};
+  const auto net = io::read_blif(ss);
+  const auto tts = simulate_truth_tables(net);
+  EXPECT_EQ(tts[0], truth_table::constant(1, true));
+  EXPECT_EQ(tts[1], truth_table::constant(1, false));
+  EXPECT_EQ(tts[2], truth_table::nth_var(1, 0));
+}
+
+TEST(blif_reader, out_of_order_definitions_resolve) {
+  std::stringstream ss{R"(.model t
+.inputs a b
+.outputs f
+.names mid a f
+11 1
+.names a b mid
+-1 1
+.end
+)"};
+  const auto net = io::read_blif(ss);
+  const auto tts = simulate_truth_tables(net);
+  const auto a = truth_table::nth_var(2, 0);
+  const auto b = truth_table::nth_var(2, 1);
+  EXPECT_EQ(tts[0], b & a);
+}
+
+TEST(blif_reader, line_continuations_and_comments) {
+  std::stringstream ss{".model t\n.inputs a \\\nb\n.outputs f # trailing comment\n"
+                       ".names a b f\n11 1\n.end\n"};
+  const auto net = io::read_blif(ss);
+  EXPECT_EQ(net.num_pis(), 2u);
+  EXPECT_EQ(net.num_pos(), 1u);
+}
+
+TEST(blif_reader, rejects_sequential_and_hierarchy) {
+  std::stringstream latch{".model t\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n"};
+  EXPECT_THROW(io::read_blif(latch), io::parse_error);
+  std::stringstream sub{".model t\n.inputs a\n.outputs q\n.subckt foo x=a y=q\n.end\n"};
+  EXPECT_THROW(io::read_blif(sub), io::parse_error);
+}
+
+TEST(blif_reader, rejects_undefined_output_and_cycles) {
+  std::stringstream undef{".model t\n.inputs a\n.outputs f\n.end\n"};
+  EXPECT_THROW(io::read_blif(undef), io::parse_error);
+  std::stringstream cycle{
+      ".model t\n.inputs a\n.outputs f\n.names g a f\n11 1\n.names f a g\n11 1\n.end\n"};
+  EXPECT_THROW(io::read_blif(cycle), io::parse_error);
+}
+
+TEST(blif_reader, rejects_malformed_cubes) {
+  std::stringstream bad_char{".model t\n.inputs a b\n.outputs f\n.names a b f\n1x 1\n.end\n"};
+  EXPECT_THROW(io::read_blif(bad_char), io::parse_error);
+  std::stringstream bad_width{".model t\n.inputs a b\n.outputs f\n.names a b f\n111 1\n.end\n"};
+  EXPECT_THROW(io::read_blif(bad_width), io::parse_error);
+  std::stringstream mixed{".model t\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n"};
+  EXPECT_THROW(io::read_blif(mixed), io::parse_error);
+}
+
+TEST(blif_writer, round_trips_through_own_reader) {
+  const auto net = gen::multiplier_circuit(4);
+  std::stringstream ss;
+  io::write_blif(net, ss);
+  const auto back = io::read_blif(ss);
+  EXPECT_EQ(back.num_pis(), net.num_pis());
+  EXPECT_EQ(back.num_pos(), net.num_pos());
+  EXPECT_TRUE(functionally_equivalent(net, back));
+}
+
+TEST(blif_writer, physical_netlists_round_trip) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  const signal c = net.create_pi("c");
+  const signal m = net.create_maj(!a, b, c);
+  const signal buf = net.create_buffer(m);
+  const signal fog = net.create_fanout(buf);
+  net.create_po(!fog, "f");
+  net.create_po(fog, "g");
+  std::stringstream ss;
+  io::write_blif(net, ss);
+  const auto back = io::read_blif(ss);
+  EXPECT_TRUE(functionally_equivalent(net, back));
+}
+
+TEST(blif_writer, majority_gates_use_three_cubes) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  const signal c = net.create_pi("c");
+  net.create_po(net.create_maj(a, b, c), "f");
+  std::stringstream ss;
+  io::write_blif(net, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("11- 1"), std::string::npos);
+  EXPECT_NE(text.find("1-1 1"), std::string::npos);
+  EXPECT_NE(text.find("-11 1"), std::string::npos);
+}
+
+TEST(blif_writer, constants_and_complements_materialize) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  net.create_po(net.create_or(!a, b), "f");  // OR uses const1; !a an inverter
+  net.create_po(constant0, "zero");
+  std::stringstream ss;
+  io::write_blif(net, ss);
+  const auto back = io::read_blif(ss);
+  EXPECT_TRUE(functionally_equivalent(net, back));
+}
+
+}  // namespace
+}  // namespace wavemig

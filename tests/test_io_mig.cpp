@@ -1,0 +1,148 @@
+#include "wavemig/io/mig_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/fanout_restriction.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+mig_network round_trip(const mig_network& net) {
+  std::stringstream ss;
+  io::write_mig(net, ss);
+  return io::read_mig(ss);
+}
+
+TEST(mig_format, round_trips_logic_networks) {
+  const auto net = gen::multiplier_circuit(5);
+  const auto back = round_trip(net);
+  EXPECT_EQ(back.num_pis(), net.num_pis());
+  EXPECT_EQ(back.num_pos(), net.num_pos());
+  EXPECT_EQ(back.num_majorities(), net.num_majorities());
+  EXPECT_TRUE(functionally_equivalent(net, back));
+}
+
+TEST(mig_format, round_trips_physical_netlists) {
+  // Buffers and FOGs (never hashed) must survive exactly.
+  auto piped = restrict_fanout(gen::multiplier_circuit(4), {3, true});
+  auto balanced = insert_buffers(piped.net);
+  const auto back = round_trip(balanced.net);
+  EXPECT_EQ(back.num_buffers(), balanced.net.num_buffers());
+  EXPECT_EQ(back.num_fanout_gates(), balanced.net.num_fanout_gates());
+  EXPECT_EQ(compute_levels(back).depth, compute_levels(balanced.net).depth);
+  EXPECT_TRUE(functionally_equivalent(balanced.net, back));
+}
+
+TEST(mig_format, preserves_names) {
+  mig_network net;
+  const signal x = net.create_pi("clock_en");
+  const signal y = net.create_pi("data_in");
+  const signal z = net.create_pi("sel");
+  net.create_po(net.create_maj(x, y, z), "vote_out");
+  const auto back = round_trip(net);
+  EXPECT_EQ(back.pi_name(0), "clock_en");
+  EXPECT_EQ(back.pi_name(2), "sel");
+  EXPECT_EQ(back.po_name(0), "vote_out");
+}
+
+TEST(mig_format, handles_constants_and_complements) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  net.create_po(net.create_and(!a, b), "f");
+  net.create_po(constant1, "one");
+  net.create_po(!net.create_or(a, !b), "g");
+  const auto back = round_trip(net);
+  EXPECT_TRUE(functionally_equivalent(net, back));
+  EXPECT_EQ(back.po_signal(1), constant1);
+}
+
+TEST(mig_format, written_text_is_structured) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  const signal c = net.create_pi("c");
+  const signal m = net.create_maj(a, b, c);
+  net.create_buffer(m);
+  net.create_po(m, "f");
+  std::stringstream ss;
+  io::write_mig(net, ss, "example");
+  const std::string text = ss.str();
+  EXPECT_NE(text.find(".model example"), std::string::npos);
+  EXPECT_NE(text.find(".inputs a b c"), std::string::npos);
+  EXPECT_NE(text.find("= MAJ(a, b, c)"), std::string::npos);
+  EXPECT_NE(text.find("= BUF("), std::string::npos);
+  EXPECT_NE(text.find(".output f ="), std::string::npos);
+}
+
+TEST(mig_format, parses_comments_and_whitespace) {
+  std::stringstream ss{R"(# header comment
+.model t
+.inputs a b c
+
+# gate section
+n1 = MAJ(a, !b, c)
+n2 = BUF(n1)
+n3 = FOG(n2)
+.output f = !n3
+)"};
+  const auto net = io::read_mig(ss);
+  EXPECT_EQ(net.num_pis(), 3u);
+  EXPECT_EQ(net.num_majorities(), 1u);
+  EXPECT_EQ(net.num_buffers(), 1u);
+  EXPECT_EQ(net.num_fanout_gates(), 1u);
+  EXPECT_TRUE(net.po_signal(0).is_complemented());
+}
+
+TEST(mig_format, error_use_before_definition) {
+  std::stringstream ss{".inputs a b\nn1 = MAJ(a, b, n2)\nn2 = BUF(n1)\n.output f = n1\n"};
+  EXPECT_THROW(io::read_mig(ss), io::parse_error);
+}
+
+TEST(mig_format, error_redefinition) {
+  std::stringstream ss{".inputs a b c\nn1 = MAJ(a, b, c)\nn1 = BUF(a)\n.output f = n1\n"};
+  EXPECT_THROW(io::read_mig(ss), io::parse_error);
+}
+
+TEST(mig_format, error_wrong_arity) {
+  std::stringstream ss{".inputs a b\nn1 = MAJ(a, b)\n.output f = n1\n"};
+  EXPECT_THROW(io::read_mig(ss), io::parse_error);
+  std::stringstream ss2{".inputs a\nn1 = BUF(a, a)\n.output f = n1\n"};
+  EXPECT_THROW(io::read_mig(ss2), io::parse_error);
+}
+
+TEST(mig_format, error_unknown_kind_and_garbage) {
+  std::stringstream ss{".inputs a b c\nn1 = NAND(a, b, c)\n.output f = n1\n"};
+  EXPECT_THROW(io::read_mig(ss), io::parse_error);
+  std::stringstream ss2{"this is not a netlist\n"};
+  EXPECT_THROW(io::read_mig(ss2), io::parse_error);
+}
+
+TEST(mig_format, parse_error_reports_line_number) {
+  std::stringstream ss{".inputs a b\n\nn1 = MAJ(a, b, zz)\n"};
+  try {
+    io::read_mig(ss);
+    FAIL() << "expected parse_error";
+  } catch (const io::parse_error& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos);
+  }
+}
+
+TEST(mig_format, file_round_trip) {
+  const auto net = gen::ripple_adder_circuit(6);
+  const std::string path = ::testing::TempDir() + "wavemig_io_test.mig";
+  io::write_mig_file(net, path);
+  const auto back = io::read_mig_file(path);
+  EXPECT_TRUE(functionally_equivalent(net, back));
+  EXPECT_THROW(io::read_mig_file("/nonexistent/path.mig"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wavemig

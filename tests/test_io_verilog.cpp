@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/fanout_restriction.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/io/mig_format.hpp"
+#include "wavemig/io/verilog.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+mig_network round_trip(const mig_network& net) {
+  std::stringstream ss;
+  io::write_verilog(net, ss);
+  return io::read_verilog(ss);
+}
+
+TEST(verilog_reader, round_trips_logic_networks) {
+  const auto net = gen::multiplier_circuit(4);
+  const auto back = round_trip(net);
+  EXPECT_EQ(back.num_pis(), net.num_pis());
+  EXPECT_EQ(back.num_pos(), net.num_pos());
+  EXPECT_EQ(back.num_majorities(), net.num_majorities());
+  EXPECT_TRUE(functionally_equivalent(net, back));
+}
+
+TEST(verilog_reader, round_trips_physical_netlists) {
+  const auto restricted = restrict_fanout(gen::ripple_adder_circuit(6), {3, true});
+  const auto balanced = insert_buffers(restricted.net);
+  const auto back = round_trip(balanced.net);
+  EXPECT_EQ(back.num_buffers(), balanced.net.num_buffers());
+  EXPECT_EQ(back.num_fanout_gates(), balanced.net.num_fanout_gates());
+  EXPECT_EQ(back.num_majorities(), balanced.net.num_majorities());
+  EXPECT_TRUE(functionally_equivalent(balanced.net, back));
+}
+
+TEST(verilog_reader, majority_pattern_is_rebuilt_as_one_gate) {
+  std::stringstream ss{R"(module m(a, b, c, f);
+  input a; input b; input c;
+  output f;
+  wire n1;
+  assign n1 = (a & ~b) | (a & c) | (~b & c);
+  assign f = n1;
+endmodule
+)"};
+  const auto net = io::read_verilog(ss);
+  EXPECT_EQ(net.num_majorities(), 1u);
+  const auto tts = simulate_truth_tables(net);
+  const auto a = truth_table::nth_var(3, 0);
+  const auto b = truth_table::nth_var(3, 1);
+  const auto c = truth_table::nth_var(3, 2);
+  EXPECT_EQ(tts[0], truth_table::maj(a, ~b, c));
+}
+
+TEST(verilog_reader, general_expressions_synthesize) {
+  std::stringstream ss{R"(module m(a, b, c, f, g);
+  input a, b, c;
+  output f, g;
+  assign f = (a ^ b) & ~c;
+  assign g = a | b | (c & 1'b1);
+endmodule
+)"};
+  const auto net = io::read_verilog(ss);
+  const auto tts = simulate_truth_tables(net);
+  const auto a = truth_table::nth_var(3, 0);
+  const auto b = truth_table::nth_var(3, 1);
+  const auto c = truth_table::nth_var(3, 2);
+  EXPECT_EQ(tts[0], (a ^ b) & ~c);
+  EXPECT_EQ(tts[1], a | b | c);
+}
+
+TEST(verilog_reader, out_of_order_assigns_resolve) {
+  std::stringstream ss{R"(module m(a, b, f);
+  input a, b;
+  output f;
+  assign f = mid & a;
+  assign mid = a | b;
+endmodule
+)"};
+  const auto net = io::read_verilog(ss);
+  const auto tts = simulate_truth_tables(net);
+  EXPECT_EQ(tts[0], (truth_table::nth_var(2, 0) | truth_table::nth_var(2, 1)) &
+                        truth_table::nth_var(2, 0));
+}
+
+TEST(verilog_reader, escaped_identifiers) {
+  // Escaped identifiers run to the next whitespace and may contain
+  // characters that are otherwise operators.
+  std::stringstream ss{"module m(\\sig[3] , f);\n  input \\sig[3] ;\n  output f;\n"
+                       "  assign f = ~\\sig[3] ;\nendmodule\n"};
+  const auto net = io::read_verilog(ss);
+  EXPECT_EQ(net.pi_name(0), "sig[3]");
+  EXPECT_TRUE(net.po_signal(0).is_complemented());
+}
+
+TEST(verilog_reader, buf_fog_tags_restore_components) {
+  std::stringstream ss{R"(module m(a, f);
+  input a;
+  output f;
+  assign n1 = a;  // BUF
+  assign n2 = n1; // FOG
+  assign f = n2;
+endmodule
+)"};
+  const auto net = io::read_verilog(ss);
+  EXPECT_EQ(net.num_buffers(), 1u);
+  EXPECT_EQ(net.num_fanout_gates(), 1u);
+}
+
+TEST(verilog_reader, untagged_identity_is_an_alias) {
+  std::stringstream ss{R"(module m(a, f);
+  input a;
+  output f;
+  assign n1 = a;
+  assign f = n1;
+endmodule
+)"};
+  const auto net = io::read_verilog(ss);
+  EXPECT_EQ(net.num_components(), 0u);
+  EXPECT_EQ(net.po_signal(0).index(), net.pis()[0]);
+}
+
+TEST(verilog_reader, rejects_cycles_and_redefinitions) {
+  std::stringstream cycle{R"(module m(a, f);
+  input a;
+  output f;
+  assign x = y & a;
+  assign y = x | a;
+  assign f = x;
+endmodule
+)"};
+  EXPECT_THROW(io::read_verilog(cycle), io::parse_error);
+
+  std::stringstream redef{R"(module m(a, f);
+  input a;
+  output f;
+  assign f = a;
+  assign f = ~a;
+endmodule
+)"};
+  EXPECT_THROW(io::read_verilog(redef), io::parse_error);
+}
+
+TEST(verilog_reader, rejects_malformed_input) {
+  std::stringstream bad_expr{"module m(a, f);\n input a;\n output f;\n assign f = a &;\nendmodule\n"};
+  EXPECT_THROW(io::read_verilog(bad_expr), io::parse_error);
+  std::stringstream bad_char{"module m(a, f);\n input a;\n output f;\n assign f = a @ a;\nendmodule\n"};
+  EXPECT_THROW(io::read_verilog(bad_char), io::parse_error);
+  std::stringstream undef_out{"module m(a, f);\n input a;\n output f;\nendmodule\n"};
+  EXPECT_THROW(io::read_verilog(undef_out), io::parse_error);
+  std::stringstream unknown{"module m(a);\n input a;\n initial begin end\nendmodule\n"};
+  EXPECT_THROW(io::read_verilog(unknown), io::parse_error);
+}
+
+TEST(verilog_reader, file_round_trip) {
+  const auto net = gen::comparator_circuit(6);
+  const std::string path = ::testing::TempDir() + "wavemig_io_test.v";
+  io::write_verilog_file(net, path);
+  const auto back = io::read_verilog_file(path);
+  EXPECT_TRUE(functionally_equivalent(net, back));
+  EXPECT_THROW(io::read_verilog_file("/nonexistent/x.v"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/io/dot.hpp"
+#include "wavemig/io/verilog.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(verilog_writer, emits_module_with_ports) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  const signal c = net.create_pi("c");
+  net.create_po(net.create_maj(a, b, c), "f");
+  std::stringstream ss;
+  io::write_verilog(net, ss, "majority3");
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("module majority3("), std::string::npos);
+  EXPECT_NE(text.find("input \\a ;"), std::string::npos);
+  EXPECT_NE(text.find("output \\f ;"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+}
+
+TEST(verilog_writer, majority_expands_to_and_or) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  const signal c = net.create_pi("c");
+  net.create_po(net.create_maj(a, !b, c), "f");
+  std::stringstream ss;
+  io::write_verilog(net, ss);
+  const std::string text = ss.str();
+  // (a & ~b) | (a & c) | (~b & c) with escaped names.
+  EXPECT_NE(text.find("&"), std::string::npos);
+  EXPECT_NE(text.find("|"), std::string::npos);
+  EXPECT_NE(text.find("~"), std::string::npos);
+}
+
+TEST(verilog_writer, constants_and_identity_components) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  const signal g = net.create_and(a, b);
+  const signal buf = net.create_buffer(g);
+  const signal fog = net.create_fanout(buf);
+  net.create_po(fog, "f");
+  std::stringstream ss;
+  io::write_verilog(net, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("1'b0"), std::string::npos);  // AND encoded as M(a,b,0)
+  EXPECT_NE(text.find("// BUF"), std::string::npos);
+  EXPECT_NE(text.find("// FOG"), std::string::npos);
+}
+
+TEST(verilog_writer, every_wire_is_declared_before_use) {
+  const auto net = insert_buffers(gen::multiplier_circuit(3)).net;
+  std::stringstream ss;
+  io::write_verilog(net, ss);
+  const std::string text = ss.str();
+  std::size_t wires = 0;
+  for (std::size_t pos = text.find("  wire "); pos != std::string::npos;
+       pos = text.find("  wire ", pos + 1)) {
+    ++wires;
+  }
+  EXPECT_EQ(wires, net.num_components());
+}
+
+TEST(dot_writer, renders_all_component_kinds) {
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  const signal c = net.create_pi("c");
+  const signal m = net.create_maj(a, !b, c);
+  const signal buf = net.create_buffer(m);
+  net.create_po(net.create_fanout(buf), "f");
+  std::stringstream ss;
+  io::write_dot(net, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("digraph mig"), std::string::npos);
+  EXPECT_NE(text.find("MAJ"), std::string::npos);
+  EXPECT_NE(text.find("BUF"), std::string::npos);
+  EXPECT_NE(text.find("FOG"), std::string::npos);
+  EXPECT_NE(text.find("style=dashed"), std::string::npos);  // complement edge
+  EXPECT_NE(text.find("rank=same"), std::string::npos);     // level ranking
+}
+
+TEST(dot_writer, level_ranks_align_wave_fronts) {
+  const auto net = insert_buffers(gen::ripple_adder_circuit(3)).net;
+  std::stringstream ss;
+  io::write_dot(net, ss);
+  const std::string text = ss.str();
+  // One rank group per level 0..depth.
+  std::size_t ranks = 0;
+  for (std::size_t pos = text.find("rank=same"); pos != std::string::npos;
+       pos = text.find("rank=same", pos + 1)) {
+    ++ranks;
+  }
+  EXPECT_GE(ranks, 4u);
+}
+
+}  // namespace
+}  // namespace wavemig

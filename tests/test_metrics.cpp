@@ -1,0 +1,144 @@
+#include "wavemig/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/pipeline.hpp"
+
+namespace wavemig {
+namespace {
+
+/// One majority gate with one complemented fan-in and a complemented PO:
+/// 1 MAJ + 2 INV, depth 1.
+mig_network tiny_example() {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  net.create_po(!net.create_maj(a, b, !c), "f");
+  return net;
+}
+
+TEST(metrics, component_inventory_counts) {
+  const auto net = tiny_example();
+  const auto inv = count_components(net, /*optimize_polarity=*/false);
+  EXPECT_EQ(inv.majorities, 1u);
+  EXPECT_EQ(inv.inverters, 2u);
+  EXPECT_EQ(inv.buffers, 0u);
+  EXPECT_EQ(inv.fanout_gates, 0u);
+  EXPECT_EQ(inv.outputs, 1u);
+  EXPECT_EQ(inv.total(), 3u);
+}
+
+TEST(metrics, polarity_optimization_reduces_inventory) {
+  const auto net = tiny_example();
+  // Flipping the gate turns {1 fan-in inverter + 1 PO inverter} into
+  // {2 fan-in inverters}... same cost here, but never more.
+  const auto opt = count_components(net, true);
+  const auto raw = count_components(net, false);
+  EXPECT_LE(opt.inverters, raw.inverters);
+}
+
+TEST(metrics, area_formula_swd) {
+  const auto net = tiny_example();
+  const auto m = compute_metrics(net, technology::swd(), false);
+  const auto inv_count = static_cast<double>(m.components.inverters);
+  // area = cell_area x (1 MAJ x 5 + inverters x 2)
+  EXPECT_DOUBLE_EQ(m.area_um2, 0.002304 * (5.0 + 2.0 * inv_count));
+}
+
+TEST(metrics, energy_includes_swd_sense_amplifiers) {
+  const auto net = tiny_example();
+  auto tech = technology::swd();
+  const auto m = compute_metrics(net, tech, false);
+  const double gate_energy =
+      tech.cell_energy_fj * (3.0 + 1.0 * static_cast<double>(m.components.inverters));
+  EXPECT_DOUBLE_EQ(m.energy_per_op_fj, gate_energy + tech.sense_amp_energy_fj * 1.0);
+}
+
+TEST(metrics, latency_and_throughput_non_pipelined) {
+  const auto net = gen::ripple_adder_circuit(6);  // depth 7 (6 FAs + msb sum)
+  const auto m = compute_metrics(net, technology::swd(), false);
+  const double depth = m.depth;
+  EXPECT_DOUBLE_EQ(m.latency_ns, depth * 0.42);
+  EXPECT_DOUBLE_EQ(m.throughput_mops, 1e3 / (depth * 0.42));
+  EXPECT_EQ(m.waves_in_flight, 1u);
+}
+
+TEST(metrics, throughput_wave_pipelined_is_depth_independent) {
+  const auto shallow = gen::ripple_adder_circuit(4);
+  const auto deep = gen::ripple_adder_circuit(32);
+  const auto ms = compute_metrics(shallow, technology::swd(), true);
+  const auto md = compute_metrics(deep, technology::swd(), true);
+  EXPECT_DOUBLE_EQ(ms.throughput_mops, md.throughput_mops);
+  EXPECT_NEAR(ms.throughput_mops, 793.65, 0.01);
+  EXPECT_GT(md.waves_in_flight, ms.waves_in_flight);
+}
+
+TEST(metrics, paper_power_model_divides_energy_by_latency) {
+  const auto net = tiny_example();
+  const auto m = compute_metrics(net, technology::nml(), false);
+  EXPECT_DOUBLE_EQ(m.power_uw, m.energy_per_op_fj / m.latency_ns);
+  // Steady state: energy x throughput.
+  EXPECT_DOUBLE_EQ(m.power_steady_state_uw, m.energy_per_op_fj * m.throughput_mops * 1e-3);
+}
+
+TEST(metrics, nml_power_magnitude_sanity) {
+  // A SASC-sized controller on NML lands in Table II's 1e-3..1e-1 uW range.
+  const auto net = gen::ripple_adder_circuit(32);
+  const auto m = compute_metrics(net, technology::nml(), false);
+  EXPECT_GT(m.power_uw, 1e-4);
+  EXPECT_LT(m.power_uw, 1.0);
+}
+
+TEST(metrics, swd_tp_gain_equals_wp_depth_over_three) {
+  // Table II regularity: with sense-amp-dominated SWD energy, the T/P gain
+  // is exactly d_wp / 3 (e.g. SASC: depth 9 -> 3.00, MUL64: 135 -> 45.00).
+  const auto net = gen::multiplier_circuit(6);
+  const auto piped = wave_pipeline(net);
+  const auto cmp = compare_metrics(net, piped.net, technology::swd());
+  const double expected = static_cast<double>(piped.depth_after) / 3.0;
+  EXPECT_NEAR(cmp.tp_gain, expected, expected * 0.02);
+}
+
+TEST(metrics, gains_are_ratios_of_ratios) {
+  const auto net = gen::multiplier_circuit(5);
+  const auto piped = wave_pipeline(net);
+  for (const auto& tech : {technology::swd(), technology::qca(), technology::nml()}) {
+    const auto cmp = compare_metrics(net, piped.net, tech);
+    EXPECT_DOUBLE_EQ(cmp.ta_gain, cmp.pipelined.throughput_per_area() /
+                                      cmp.original.throughput_per_area())
+        << tech.name;
+    EXPECT_DOUBLE_EQ(cmp.tp_gain, cmp.pipelined.throughput_per_power() /
+                                      cmp.original.throughput_per_power())
+        << tech.name;
+    // Note: T/A below 1 is possible for shallow circuits on NML (the paper's
+    // own Table II shows SASC NML T/A = 0.76), so only positivity is
+    // universal here; the paper_regression suite checks the averaged gains.
+    EXPECT_GT(cmp.ta_gain, 0.0) << tech.name;
+    EXPECT_GT(cmp.tp_gain, 0.0) << tech.name;
+  }
+}
+
+TEST(metrics, deeper_circuits_gain_more) {
+  // Table II trend: T/P gains grow with depth (SASC 3.00 ... DIFFEQ1 94.00).
+  const auto small = gen::multiplier_circuit(4);
+  const auto big = gen::multiplier_circuit(8);
+  const auto ps = wave_pipeline(small);
+  const auto pb = wave_pipeline(big);
+  const auto cs = compare_metrics(small, ps.net, technology::swd());
+  const auto cb = compare_metrics(big, pb.net, technology::swd());
+  EXPECT_GT(cb.tp_gain, cs.tp_gain);
+}
+
+TEST(metrics, degenerate_depth_zero_circuit) {
+  mig_network net;
+  const signal a = net.create_pi();
+  net.create_po(a, "wire");
+  const auto m = compute_metrics(net, technology::swd(), false);
+  EXPECT_GT(m.latency_ns, 0.0);  // clamped to one phase
+  EXPECT_GT(m.throughput_mops, 0.0);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,207 @@
+// End-to-end regression against the qualitative findings of the paper
+// (Zografos et al., DATE 2017). Absolute numbers depend on the regenerated
+// benchmark suite, so every assertion uses the loose bands recorded in
+// EXPERIMENTS.md: who wins, in which direction, and by roughly what factor.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/metrics.hpp"
+#include "wavemig/pipeline.hpp"
+#include "wavemig/stats.hpp"
+
+namespace wavemig {
+namespace {
+
+const std::vector<std::string>& sample_names() {
+  // A representative slice: shallow control, deep arithmetic, crypto, misc.
+  static const std::vector<std::string> names{
+      "sasc", "i2c", "mul8", "mul16", "adder32", "adder64", "hamming",
+      "crc32_8", "revx", "barrel64", "voter101", "max32x4", "int2float16"};
+  return names;
+}
+
+TEST(paper_fig5, buffer_counts_follow_a_power_law) {
+  // Full 37-benchmark sweep, like the paper's scatter plot.
+  std::vector<double> sizes;
+  std::vector<double> buffers;
+  std::vector<double> ratios;
+  for (const auto& bench : gen::build_suite()) {
+    pipeline_options opts;
+    opts.fanout_limit.reset();  // BUF alone, as in Fig. 5
+    const auto result = wave_pipeline(bench.net, opts);
+    const auto size = static_cast<double>(result.original_stats.components);
+    const auto added = static_cast<double>(result.balance_buffers_added);
+    sizes.push_back(size);
+    buffers.push_back(added);
+    if (added > 0) {
+      ratios.push_back(added / size);
+    }
+    // Per-circuit sanity: even the most skewed netlist stays within 30x.
+    EXPECT_LT(added / size, 30.0) << bench.name;
+  }
+  const auto fit = fit_power_law(sizes, buffers);
+  // Paper: B(s) = 7.95 s^0.9 over its suite. Our regenerated suite keeps the
+  // qualitative shape: a power law with near-linear exponent and positive
+  // correlation; exact constants differ (see EXPERIMENTS.md).
+  EXPECT_GT(fit.exponent, 0.5);
+  EXPECT_LT(fit.exponent, 1.7);
+  EXPECT_GT(fit.r_squared, 0.25);
+  // "On average, the number of buffers inserted ranged from 2x to 4x the
+  // original netlist size" — our suite average must land in a loose band
+  // around that range.
+  const double avg_ratio = mean(ratios);
+  EXPECT_GT(avg_ratio, 0.5);
+  EXPECT_LT(avg_ratio, 8.0);
+}
+
+TEST(paper_fig7, critical_path_increase_shrinks_with_looser_limits) {
+  // Paper averages: +140% (FO2), +57% (FO3), +36% (FO4), +26% (FO5).
+  std::vector<double> increase_by_limit;
+  for (unsigned k : {2u, 3u, 4u, 5u}) {
+    std::vector<double> increases;
+    for (const auto& name : sample_names()) {
+      const auto net = gen::build_benchmark(name);
+      pipeline_options opts;
+      opts.fanout_limit = k;
+      opts.insert_buffers = false;
+      const auto result = wave_pipeline(net, opts);
+      increases.push_back(static_cast<double>(result.depth_after) /
+                              static_cast<double>(result.depth_before) -
+                          1.0);
+    }
+    increase_by_limit.push_back(mean(increases));
+  }
+  // Strictly decreasing in the limit, and FO2 dominant.
+  EXPECT_GT(increase_by_limit[0], increase_by_limit[1]);
+  EXPECT_GT(increase_by_limit[1], increase_by_limit[2]);
+  EXPECT_GE(increase_by_limit[2], increase_by_limit[3]);
+  EXPECT_GT(increase_by_limit[0], 0.25);  // FO2 hurts substantially
+  EXPECT_LT(increase_by_limit[3], 1.00);  // FO5 is mild
+}
+
+TEST(paper_fig8, component_blowup_ordering) {
+  // Normalized sizes: 1 < FO5 < FO4 < FO3 < FO2 (restriction alone), all
+  // below their FOx+BUF counterparts, and BUF alone below FO2+BUF.
+  double previous_alone = 1.0;
+  double previous_combined = 0.0;
+  std::vector<double> combined_by_tightness;
+  std::vector<double> buf_alone;
+  for (const auto& name : sample_names()) {
+    const auto net = gen::build_benchmark(name);
+    pipeline_options opts;
+    opts.fanout_limit.reset();
+    const auto r = wave_pipeline(net, opts);
+    buf_alone.push_back(static_cast<double>(r.final_stats.components) /
+                        static_cast<double>(r.original_stats.components));
+  }
+  const double buf_norm = mean(buf_alone);
+  EXPECT_GT(buf_norm, 1.5);  // paper: 3.81
+
+  for (unsigned k : {5u, 4u, 3u, 2u}) {
+    std::vector<double> alone;
+    std::vector<double> combined;
+    for (const auto& name : sample_names()) {
+      const auto net = gen::build_benchmark(name);
+      pipeline_options fo_only;
+      fo_only.fanout_limit = k;
+      fo_only.insert_buffers = false;
+      const auto a = wave_pipeline(net, fo_only);
+      alone.push_back(static_cast<double>(a.final_stats.components) /
+                      static_cast<double>(a.original_stats.components));
+      pipeline_options both;
+      both.fanout_limit = k;
+      const auto b = wave_pipeline(net, both);
+      combined.push_back(static_cast<double>(b.final_stats.components) /
+                         static_cast<double>(b.original_stats.components));
+    }
+    const double alone_norm = mean(alone);
+    const double combined_norm = mean(combined);
+    EXPECT_GT(alone_norm, previous_alone) << "FO" << k;  // tighter = bigger
+    EXPECT_GT(combined_norm, alone_norm) << "FO" << k;   // +BUF grows further
+    // Tighter limits cost more in the combined flow too, up to near-ties:
+    // deep FOG trees double as balancing buffers, so adjacent limits can
+    // land within a few percent of each other.
+    EXPECT_GT(combined_norm, 0.85 * previous_combined) << "FO" << k;
+    EXPECT_GT(combined_norm, buf_norm) << "FO" << k;  // observation (a)
+    previous_alone = alone_norm;
+    previous_combined = std::max(previous_combined, combined_norm);
+    combined_by_tightness.push_back(combined_norm);
+  }
+  // End to end, FO2+BUF must clearly exceed FO5+BUF (paper: 9.74 vs 4.91).
+  EXPECT_GT(combined_by_tightness.back(), combined_by_tightness.front());
+}
+
+TEST(paper_fig9, all_technologies_gain_from_wave_pipelining) {
+  // Paper: T/A gains 5x/8x/3x and T/P gains 23x/13x/5x for SWD/QCA/NML.
+  // Band: every technology must gain in both metrics, averaged over the
+  // sample, with the SWD T/P gain the largest of the T/P column.
+  std::vector<double> ta_swd, tp_swd, ta_qca, tp_qca, ta_nml, tp_nml;
+  for (const auto& name : sample_names()) {
+    const auto net = gen::build_benchmark(name);
+    const auto piped = wave_pipeline(net);  // FO3 + BUF as in §V
+    const auto swd = compare_metrics(net, piped.net, technology::swd());
+    const auto qca = compare_metrics(net, piped.net, technology::qca());
+    const auto nml = compare_metrics(net, piped.net, technology::nml());
+    ta_swd.push_back(swd.ta_gain);
+    tp_swd.push_back(swd.tp_gain);
+    ta_qca.push_back(qca.ta_gain);
+    tp_qca.push_back(qca.tp_gain);
+    ta_nml.push_back(nml.ta_gain);
+    tp_nml.push_back(nml.tp_gain);
+  }
+  EXPECT_GT(mean(ta_swd), 1.5);
+  EXPECT_GT(mean(ta_qca), 1.5);
+  EXPECT_GT(mean(ta_nml), 1.0);
+  EXPECT_GT(mean(tp_swd), 3.0);
+  EXPECT_GT(mean(tp_qca), 2.0);
+  EXPECT_GT(mean(tp_nml), 1.0);
+  // Column orderings from Fig. 9: SWD tops T/P; NML is the weakest gainer.
+  EXPECT_GT(mean(tp_swd), mean(tp_nml));
+  EXPECT_GT(mean(tp_qca), mean(tp_nml));
+  EXPECT_GT(mean(ta_qca), mean(ta_nml));
+}
+
+TEST(paper_table2, wp_throughput_is_constant_per_technology) {
+  // Table II: every WP row shows 793.65 (SWD), 83333.33 (QCA), 16.67 (NML)
+  // MOPS regardless of the circuit.
+  for (const auto& name : {"sasc", "mul8", "revx"}) {
+    const auto net = gen::build_benchmark(name);
+    const auto piped = wave_pipeline(net);
+    const auto swd = compute_metrics(piped.net, technology::swd(), true);
+    const auto qca = compute_metrics(piped.net, technology::qca(), true);
+    const auto nml = compute_metrics(piped.net, technology::nml(), true);
+    EXPECT_NEAR(swd.throughput_mops, 793.65, 0.01) << name;
+    EXPECT_NEAR(qca.throughput_mops, 83333.33, 0.5) << name;
+    EXPECT_NEAR(nml.throughput_mops, 16.67, 0.01) << name;
+  }
+}
+
+TEST(paper_table2, swd_power_decreases_under_wave_pipelining) {
+  // §V: "the calculated power metric for SWD ... tends to decrease for the
+  // wave pipelined benchmarks which is counter-intuitive" — an artifact of
+  // the energy/latency model with sense-amp-dominated energy.
+  for (const auto& name : {"sasc", "mul8", "hamming"}) {
+    const auto net = gen::build_benchmark(name);
+    const auto piped = wave_pipeline(net);
+    const auto cmp = compare_metrics(net, piped.net, technology::swd());
+    EXPECT_LT(cmp.pipelined.power_uw, cmp.original.power_uw) << name;
+  }
+}
+
+TEST(paper_table2, nml_power_increases_under_wave_pipelining) {
+  // NML has no sense amplifiers: energy scales with the inflated netlist,
+  // so power rises (Table II NML columns).
+  for (const auto& name : {"sasc", "mul8", "hamming"}) {
+    const auto net = gen::build_benchmark(name);
+    const auto piped = wave_pipeline(net);
+    const auto cmp = compare_metrics(net, piped.net, technology::nml());
+    EXPECT_GT(cmp.pipelined.power_uw, cmp.original.power_uw) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,87 @@
+#include "wavemig/phase_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/gen/arith.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(phase_assignment, levels_map_to_cyclic_phases) {
+  // Balanced chain: levels 1..6 -> phases 1,2,3,1,2,3 (0-based 0,1,2,...).
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  std::vector<signal> chain;
+  signal s = net.create_maj(a, b, c);
+  chain.push_back(s);
+  for (int i = 0; i < 5; ++i) {
+    s = net.create_buffer(s);
+    chain.push_back(s);
+  }
+  net.create_po(s);
+
+  const auto assignment = assign_phases(net, 3);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(assignment.phase[chain[i].index()], i % 3) << "level " << i + 1;
+  }
+}
+
+TEST(phase_assignment, loads_count_components_only) {
+  const auto balanced = insert_buffers(gen::multiplier_circuit(4));
+  const auto assignment = assign_phases(balanced.net, 3);
+  std::size_t total = 0;
+  for (const auto l : assignment.load) {
+    total += l;
+  }
+  EXPECT_EQ(total, balanced.net.num_components());
+}
+
+TEST(phase_assignment, balanced_netlists_have_low_imbalance) {
+  // After exact balancing every level is dense, so the three phase loads
+  // differ by at most a few levels' worth of cells.
+  const auto balanced = insert_buffers(gen::multiplier_circuit(6));
+  const auto assignment = assign_phases(balanced.net, 3);
+  EXPECT_LT(assignment.load_imbalance(), 0.5);
+  for (const auto l : assignment.load) {
+    EXPECT_GT(l, 0u);
+  }
+}
+
+TEST(phase_assignment, respects_custom_schedules) {
+  const auto net = gen::multiplier_circuit(4);
+  buffer_insertion_options opts;
+  opts.tolerance = 1;
+  const auto relaxed = insert_buffers(net, opts);
+  const auto assignment = assign_phases(relaxed.net, relaxed.schedule, 3);
+  relaxed.net.foreach_component([&](node_index n) {
+    const auto lvl = relaxed.schedule.level[n];
+    EXPECT_EQ(assignment.phase[n], lvl == 0 ? 0 : (lvl - 1) % 3) << n;
+  });
+}
+
+TEST(phase_assignment, validates_arguments) {
+  const auto net = gen::ripple_adder_circuit(4);
+  EXPECT_THROW(assign_phases(net, 0), std::invalid_argument);
+  level_map bogus;
+  bogus.level.assign(1, 0);
+  EXPECT_THROW(assign_phases(net, bogus, 3), std::invalid_argument);
+}
+
+TEST(phase_assignment, report_renders) {
+  const auto balanced = insert_buffers(gen::ripple_adder_circuit(4));
+  const auto assignment = assign_phases(balanced.net, 3);
+  std::stringstream ss;
+  write_phase_report(balanced.net, balanced.schedule, assignment, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("clock phases: 3"), std::string::npos);
+  EXPECT_NE(text.find("phase 1:"), std::string::npos);
+  EXPECT_NE(text.find("level | phase |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,141 @@
+#include "wavemig/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/simulation.hpp"
+#include "wavemig/wave_schedule.hpp"
+#include "wavemig/wave_simulator.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(pipeline, default_flow_is_fo3_plus_buf) {
+  const auto net = gen::multiplier_circuit(4);
+  const auto result = wave_pipeline(net);
+  EXPECT_TRUE(result.wave_ready);
+  EXPECT_GT(result.fogs_added, 0u);
+  EXPECT_GT(result.balance_buffers_added, 0u);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+  EXPECT_GE(result.depth_after, result.depth_before);
+}
+
+TEST(pipeline, buffer_only_flow) {
+  const auto net = gen::multiplier_circuit(4);
+  pipeline_options opts;
+  opts.fanout_limit.reset();
+  const auto result = wave_pipeline(net, opts);
+  EXPECT_TRUE(result.wave_ready);
+  EXPECT_EQ(result.fogs_added, 0u);
+  EXPECT_EQ(result.depth_after, result.depth_before);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+}
+
+TEST(pipeline, restriction_only_flow) {
+  const auto net = gen::multiplier_circuit(4);
+  pipeline_options opts;
+  opts.insert_buffers = false;
+  const auto result = wave_pipeline(net, opts);
+  EXPECT_FALSE(result.wave_ready);  // not balanced without buffers
+  EXPECT_GT(result.fogs_added, 0u);
+  EXPECT_EQ(result.balance_buffers_added, 0u);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+}
+
+TEST(pipeline, respecting_limit_bounds_every_degree) {
+  const auto net = gen::multiplier_circuit(5);
+  for (unsigned k : {2u, 3u, 4u}) {
+    pipeline_options opts;
+    opts.fanout_limit = k;
+    const auto result = wave_pipeline(net, opts);
+    EXPECT_TRUE(result.wave_ready);
+    EXPECT_LE(max_fanout_degree(result.net), k) << "k=" << k;
+    EXPECT_TRUE(functionally_equivalent(net, result.net));
+  }
+}
+
+TEST(pipeline, paper_literal_chains_may_exceed_limit_but_stay_balanced) {
+  const auto net = gen::multiplier_circuit(5);
+  pipeline_options opts;
+  opts.fanout_limit = 2;
+  opts.respect_limit_in_buffers = false;
+  const auto result = wave_pipeline(net, opts);
+  EXPECT_TRUE(result.wave_ready);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+}
+
+TEST(pipeline, component_accounting_adds_up) {
+  const auto net = gen::build_benchmark("sasc");
+  const auto result = wave_pipeline(net);
+  EXPECT_EQ(result.final_stats.majorities, result.original_stats.majorities);
+  EXPECT_EQ(result.final_stats.fanout_gates, result.fogs_added);
+  EXPECT_EQ(result.final_stats.buffers,
+            result.restriction_buffers_added + result.balance_buffers_added);
+  EXPECT_EQ(result.final_stats.components,
+            result.original_stats.components + result.fogs_added +
+                result.restriction_buffers_added + result.balance_buffers_added);
+}
+
+TEST(pipeline, pipelined_network_streams_waves) {
+  const auto net = gen::ripple_adder_circuit(5);
+  const auto result = wave_pipeline(net);
+  ASSERT_TRUE(result.wave_ready);
+
+  std::vector<std::vector<bool>> waves;
+  for (int w = 0; w < 6; ++w) {
+    std::vector<bool> wave(result.net.num_pis());
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      wave[i] = ((w * 7 + static_cast<int>(i) * 3) % 5) < 2;
+    }
+    waves.push_back(std::move(wave));
+  }
+  const auto run = run_waves(result.net, waves, 3);
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    EXPECT_EQ(run.outputs[w], simulate_pattern(result.net, waves[w])) << "wave " << w;
+  }
+}
+
+TEST(pipeline, fog_count_matches_restriction_alone) {
+  // Paper Fig. 8 observation (b): FOGs are independent of buffer insertion.
+  const auto net = gen::build_benchmark("mul8");
+  pipeline_options with_buf;
+  with_buf.fanout_limit = 3;
+  pipeline_options without_buf = with_buf;
+  without_buf.insert_buffers = false;
+  EXPECT_EQ(wave_pipeline(net, with_buf).fogs_added,
+            wave_pipeline(net, without_buf).fogs_added);
+}
+
+TEST(pipeline, full_suite_default_flow_invariants) {
+  // The complete 37-circuit suite through the paper's FO3+BUF flow: every
+  // result must be wave-ready, respect the limit, account exactly, and
+  // compute the same function.
+  for (const auto& bench : gen::build_suite()) {
+    const auto result = wave_pipeline(bench.net);
+    EXPECT_TRUE(result.wave_ready) << bench.name;
+    EXPECT_LE(max_fanout_degree(result.net), 3u) << bench.name;
+    EXPECT_EQ(result.final_stats.components,
+              result.original_stats.components + result.fogs_added +
+                  result.restriction_buffers_added + result.balance_buffers_added)
+        << bench.name;
+    EXPECT_EQ(result.final_stats.majorities, result.original_stats.majorities) << bench.name;
+    EXPECT_TRUE(functionally_equivalent(bench.net, result.net, 2)) << bench.name;
+  }
+}
+
+TEST(pipeline, combined_inserts_more_buffers_than_buf_alone) {
+  // Paper Fig. 8 observation (a): FOx+BUF adds more components than BUF
+  // alone because restriction deepens the netlist.
+  const auto net = gen::build_benchmark("mul8");
+  pipeline_options buf_only;
+  buf_only.fanout_limit.reset();
+  pipeline_options combined;
+  combined.fanout_limit = 3;
+  const auto a = wave_pipeline(net, buf_only);
+  const auto b = wave_pipeline(net, combined);
+  EXPECT_GT(b.final_stats.components, a.final_stats.components);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,186 @@
+#include "wavemig/scheduling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/simulation.hpp"
+#include "wavemig/wave_schedule.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(scheduling, asap_equals_levels) {
+  const auto net = gen::build_benchmark("mul8");
+  const auto asap = compute_schedule(net, schedule_policy::asap);
+  const auto levels = compute_levels(net);
+  EXPECT_EQ(asap.level, levels.level);
+  EXPECT_EQ(asap.depth, levels.depth);
+}
+
+TEST(scheduling, alap_pins_pure_po_drivers_to_depth) {
+  // Drivers whose only consumers are primary outputs sink to the depth
+  // (aligning outputs without padding); drivers shared with gates obey the
+  // earliest consumer instead.
+  const auto net = gen::build_benchmark("mul8");
+  const auto alap = compute_schedule(net, schedule_policy::alap);
+  const auto fanouts = compute_fanouts(net);
+  for (const auto& po : net.pos()) {
+    const node_index driver = po.driver.index();
+    if (net.is_constant(driver) || net.is_pi(driver)) {
+      continue;
+    }
+    bool only_pos = true;
+    for (const auto& edge : fanouts.edges[driver]) {
+      only_pos = only_pos && edge.consumer == fanout_map::po_consumer;
+    }
+    if (only_pos) {
+      EXPECT_EQ(alap.level[driver], alap.depth) << po.name;
+    } else {
+      EXPECT_LE(alap.level[driver], alap.depth) << po.name;
+    }
+  }
+}
+
+TEST(scheduling, alap_halves_buffer_bill_on_multipliers) {
+  // Array multipliers broadcast operand bits to rows at wildly different
+  // levels; ALAP converts the private per-row slack into shared input
+  // chains (the ablation_scheduling bench shows ~2x suite-wide savings).
+  std::size_t asap_total = 0;
+  std::size_t alap_total = 0;
+  for (const auto& name : {"mul8", "mul16", "mac16", "hamming"}) {
+    const auto net = gen::build_benchmark(name);
+    buffer_insertion_options asap_opts;
+    buffer_insertion_options alap_opts;
+    alap_opts.schedule = schedule_policy::alap;
+    asap_total += insert_buffers(net, asap_opts).buffers_added;
+    alap_total += insert_buffers(net, alap_opts).buffers_added;
+  }
+  EXPECT_LT(alap_total, asap_total);
+}
+
+TEST(scheduling, alap_dominates_asap_within_depth) {
+  const auto net = gen::build_benchmark("crc32_8");
+  const auto asap = compute_schedule(net, schedule_policy::asap);
+  const auto alap = compute_schedule(net, schedule_policy::alap);
+  EXPECT_EQ(asap.depth, alap.depth);
+  net.foreach_gate([&](node_index n) {
+    EXPECT_GE(alap.level[n], asap.level[n]) << n;
+    EXPECT_LE(alap.level[n], alap.depth) << n;
+  });
+}
+
+TEST(scheduling, mid_slack_sits_in_the_window) {
+  const auto net = gen::build_benchmark("sasc");
+  const auto asap = compute_schedule(net, schedule_policy::asap);
+  const auto alap = compute_schedule(net, schedule_policy::alap);
+  const auto mid = compute_schedule(net, schedule_policy::mid_slack);
+  net.foreach_gate([&](node_index n) {
+    EXPECT_GE(mid.level[n], asap.level[n]) << n;
+    EXPECT_LE(mid.level[n], alap.level[n]) << n;
+  });
+}
+
+class schedule_validity_test
+    : public ::testing::TestWithParam<std::tuple<std::string, schedule_policy>> {};
+
+TEST_P(schedule_validity_test, schedules_are_valid) {
+  const auto& [name, policy] = GetParam();
+  const auto net = gen::build_benchmark(name);
+  const auto schedule = compute_schedule(net, policy);
+  EXPECT_TRUE(is_valid_schedule(net, schedule));
+  EXPECT_EQ(schedule.depth, compute_levels(net).depth) << "scheduling must not cost depth";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    suite_sweep, schedule_validity_test,
+    ::testing::Combine(::testing::Values("sasc", "mul8", "adder32", "revx", "crc32_8",
+                                         "barrel64", "hamming", "voter101"),
+                       ::testing::Values(schedule_policy::asap, schedule_policy::alap,
+                                         schedule_policy::mid_slack)),
+    [](const auto& info) {
+      const char* tag = std::get<1>(info.param) == schedule_policy::asap   ? "asap"
+                        : std::get<1>(info.param) == schedule_policy::alap ? "alap"
+                                                                           : "mid";
+      return std::get<0>(info.param) + "_" + tag;
+    });
+
+TEST(scheduling, invalid_schedules_are_rejected) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal g = net.create_maj(a, b, c);
+  net.create_po(net.create_maj(g, a, b));
+
+  auto levels = compute_levels(net);
+  levels.level[g.index()] = 5;  // above the depth and above its consumer
+  EXPECT_FALSE(is_valid_schedule(net, levels));
+
+  auto short_map = compute_levels(net);
+  short_map.level.pop_back();
+  EXPECT_FALSE(is_valid_schedule(net, short_map));
+}
+
+TEST(scheduling, slack_sum_counts_naive_buffers) {
+  // g1 at level 1, g2 at level 2 consuming {g1, a, b}: the two PI edges
+  // jump one level each -> slack 2.
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal g1 = net.create_maj(a, b, c);
+  net.create_po(net.create_maj(g1, a, !b));
+  EXPECT_EQ(slack_sum(net, compute_levels(net)), 2u);
+}
+
+class schedule_buffer_test : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(schedule_buffer_test, all_policies_balance_correctly) {
+  const auto net = gen::build_benchmark(GetParam());
+  for (const auto policy :
+       {schedule_policy::asap, schedule_policy::alap, schedule_policy::mid_slack}) {
+    buffer_insertion_options opts;
+    opts.schedule = policy;
+    const auto result = insert_buffers(net, opts);
+    EXPECT_TRUE(check_wave_readiness(result.net).ready);
+    EXPECT_EQ(result.depth_after, result.depth_before);
+    EXPECT_TRUE(functionally_equivalent(net, result.net, 4));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(suite_sweep, schedule_buffer_test,
+                         ::testing::Values("sasc", "mul8", "crc32_8", "int2float16", "dec8"),
+                         [](const auto& info) { return info.param; });
+
+TEST(scheduling, alap_saves_buffers_by_tapping_existing_chains) {
+  // g = OR(a, !b) sits at level 1 under ASAP but is only consumed at the
+  // top of a deep chain: ASAP spends a private 8-buffer chain on g's edge.
+  // ALAP sinks g next to its consumer, where its fan-ins tap the chains
+  // that a and b need for the deep logic anyway — strictly cheaper.
+  mig_network net;
+  const signal a = net.create_pi("a");
+  const signal b = net.create_pi("b");
+  const signal c = net.create_pi("c");
+  signal deep = net.create_maj(a, b, c);
+  for (int i = 0; i < 8; ++i) {
+    deep = net.create_maj(deep, a, !b);  // rigid chain, levels 2..9
+  }
+  const signal g = net.create_or(a, !b);          // level 1, slack-rich
+  net.create_po(net.create_maj(deep, g, a), "f");  // level 10
+
+  buffer_insertion_options asap_opts;
+  buffer_insertion_options alap_opts;
+  alap_opts.schedule = schedule_policy::alap;
+  const auto with_asap = insert_buffers(net, asap_opts);
+  const auto with_alap = insert_buffers(net, alap_opts);
+  EXPECT_LT(with_alap.buffers_added, with_asap.buffers_added);
+  EXPECT_TRUE(check_wave_readiness(with_alap.net).ready);
+  EXPECT_TRUE(functionally_equivalent(net, with_alap.net));
+}
+
+}  // namespace
+}  // namespace wavemig

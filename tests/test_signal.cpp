@@ -1,0 +1,78 @@
+#include "wavemig/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace wavemig {
+namespace {
+
+TEST(signal, default_is_constant0) {
+  const signal s;
+  EXPECT_EQ(s.index(), 0u);
+  EXPECT_FALSE(s.is_complemented());
+  EXPECT_EQ(s, constant0);
+}
+
+TEST(signal, packs_index_and_complement) {
+  const signal s{42, true};
+  EXPECT_EQ(s.index(), 42u);
+  EXPECT_TRUE(s.is_complemented());
+  EXPECT_EQ(s.raw(), (42u << 1) | 1u);
+}
+
+TEST(signal, complement_is_involution) {
+  const signal s{7, false};
+  EXPECT_NE(s, !s);
+  EXPECT_EQ(s, !!s);
+  EXPECT_EQ((!s).index(), s.index());
+  EXPECT_TRUE((!s).is_complemented());
+}
+
+TEST(signal, constants_are_complements_of_each_other) {
+  EXPECT_EQ(!constant0, constant1);
+  EXPECT_EQ(!constant1, constant0);
+  EXPECT_EQ(constant0.index(), constant1.index());
+}
+
+TEST(signal, without_complement_clears_attribute) {
+  EXPECT_EQ(signal(9, true).without_complement(), signal(9, false));
+  EXPECT_EQ(signal(9, false).without_complement(), signal(9, false));
+}
+
+TEST(signal, complement_if_conditionally_toggles) {
+  const signal s{3, false};
+  EXPECT_EQ(s.complement_if(false), s);
+  EXPECT_EQ(s.complement_if(true), !s);
+  EXPECT_EQ((!s).complement_if(true), s);
+}
+
+TEST(signal, ordering_is_total_and_deterministic) {
+  const signal a{1, false};
+  const signal b{1, true};
+  const signal c{2, false};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+
+  std::set<signal> ordered{c, a, b};
+  EXPECT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(*ordered.begin(), a);
+}
+
+TEST(signal, hashable_in_unordered_containers) {
+  std::unordered_set<signal> set;
+  set.insert(signal{5, false});
+  set.insert(signal{5, true});
+  set.insert(signal{5, false});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(signal, from_raw_round_trips) {
+  const signal s{123456, true};
+  EXPECT_EQ(signal::from_raw(s.raw()), s);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,155 @@
+#include "wavemig/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "wavemig/gen/arith.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(simulation, words_evaluate_majority) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  net.create_po(net.create_maj(a, b, c));
+
+  const std::vector<std::uint64_t> inputs{0b0011u, 0b0101u, 0b0110u};
+  const auto out = simulate_words(net, inputs);
+  ASSERT_EQ(out.size(), 1u);
+  // Patterns: bit0 (1,1,0)->1, bit1 (1,0,1)->1, bit2 (0,1,1)->1, bit3 (0,0,0)->0.
+  EXPECT_EQ(out[0] & 0xFu, 0b0111u);
+}
+
+TEST(simulation, complemented_edges_and_pos) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal g = net.create_and(!a, b);
+  net.create_po(!g, "nand_ish");
+  const auto tts = simulate_truth_tables(net);
+  const auto ta = truth_table::nth_var(2, 0);
+  const auto tb = truth_table::nth_var(2, 1);
+  EXPECT_EQ(tts[0], ~(~ta & tb));
+}
+
+TEST(simulation, buffers_and_fanouts_are_transparent) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal g = net.create_xor(a, b);
+  const signal buffered = net.create_buffer(net.create_fanout(net.create_buffer(g)));
+  net.create_po(buffered);
+  net.create_po(g);
+  const auto tts = simulate_truth_tables(net);
+  EXPECT_EQ(tts[0], tts[1]);
+}
+
+TEST(simulation, constant_outputs) {
+  mig_network net;
+  net.create_pi();
+  net.create_po(constant0, "zero");
+  net.create_po(constant1, "one");
+  const auto out = simulate_words(net, {0xDEADBEEFull});
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], ~std::uint64_t{0});
+}
+
+TEST(simulation, pattern_interface_matches_word_interface) {
+  const auto net = gen::ripple_adder_circuit(4);
+  // 5 + 11 = 16 -> sum bits 0000, carry-out 1.
+  std::vector<bool> inputs(8, false);
+  inputs[0] = true;  // a = 0101
+  inputs[2] = true;
+  inputs[4] = true;  // b = 1011
+  inputs[5] = true;
+  inputs[7] = true;
+  const auto out = simulate_pattern(net, inputs);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_FALSE(out[0]);
+  EXPECT_FALSE(out[1]);
+  EXPECT_FALSE(out[2]);
+  EXPECT_FALSE(out[3]);
+  EXPECT_TRUE(out[4]);  // carry
+}
+
+TEST(simulation, input_size_validation) {
+  mig_network net;
+  net.create_pi();
+  net.create_pi();
+  EXPECT_THROW(simulate_words(net, {1ull}), std::invalid_argument);
+  EXPECT_THROW(simulate_pattern(net, {true}), std::invalid_argument);
+}
+
+TEST(equivalence, identical_networks_are_equivalent) {
+  const auto a = gen::multiplier_circuit(4);
+  const auto b = gen::multiplier_circuit(4);
+  EXPECT_TRUE(functionally_equivalent(a, b));
+}
+
+TEST(equivalence, detects_functional_difference) {
+  mig_network a;
+  {
+    const signal x = a.create_pi();
+    const signal y = a.create_pi();
+    a.create_po(a.create_and(x, y));
+  }
+  mig_network b;
+  {
+    const signal x = b.create_pi();
+    const signal y = b.create_pi();
+    b.create_po(b.create_or(x, y));
+  }
+  EXPECT_FALSE(functionally_equivalent(a, b));
+}
+
+TEST(equivalence, detects_interface_mismatch) {
+  mig_network a;
+  a.create_pi();
+  a.create_po(constant0);
+  mig_network b;
+  b.create_pi();
+  b.create_pi();
+  b.create_po(constant0);
+  EXPECT_FALSE(functionally_equivalent(a, b));
+}
+
+TEST(equivalence, random_rounds_catch_wiring_swaps_in_wide_circuits) {
+  // 36 PIs forces the random-word path (> exact_limit).
+  const auto good = gen::ripple_adder_circuit(18);
+  mig_network bad;
+  {
+    auto a = gen::make_input_word(bad, 18, "a");
+    auto b = gen::make_input_word(bad, 18, "b");
+    std::swap(a[3], a[11]);  // wiring error
+    auto [sum, carry] = gen::add_ripple(bad, a, b, constant0);
+    gen::make_output_word(bad, sum, "s");
+    bad.create_po(carry, "cout");
+  }
+  EXPECT_FALSE(functionally_equivalent(good, bad));
+}
+
+TEST(simulation, adder_matches_integer_arithmetic) {
+  const auto net = gen::ripple_adder_circuit(8);
+  std::mt19937_64 rng{3};
+  for (int round = 0; round < 200; ++round) {
+    const unsigned x = static_cast<unsigned>(rng() & 0xFFu);
+    const unsigned y = static_cast<unsigned>(rng() & 0xFFu);
+    std::vector<bool> in(16);
+    for (int i = 0; i < 8; ++i) {
+      in[i] = (x >> i) & 1u;
+      in[8 + i] = (y >> i) & 1u;
+    }
+    const auto out = simulate_pattern(net, in);
+    unsigned result = 0;
+    for (int i = 0; i < 9; ++i) {
+      result |= static_cast<unsigned>(out[i]) << i;
+    }
+    EXPECT_EQ(result, x + y);
+  }
+}
+
+}  // namespace
+}  // namespace wavemig

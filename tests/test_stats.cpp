@@ -1,0 +1,67 @@
+#include "wavemig/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace wavemig {
+namespace {
+
+TEST(stats, mean_and_stddev) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                   std::sqrt(32.0 / 7.0));
+  EXPECT_DOUBLE_EQ(sample_stddev({42.0}), 0.0);
+}
+
+TEST(stats, geometric_mean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_THROW(geometric_mean({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(stats, power_law_exact_recovery) {
+  // y = 7.95 * x^0.9, the paper's Fig. 5 trend, recovered exactly from
+  // noiseless samples.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 100.0; v <= 100000.0; v *= 1.7) {
+    x.push_back(v);
+    y.push_back(7.95 * std::pow(v, 0.9));
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 0.9, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 7.95, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit(1000.0), 7.95 * std::pow(1000.0, 0.9), 1e-6);
+}
+
+TEST(stats, power_law_with_noise_stays_close) {
+  std::mt19937_64 rng{11};
+  std::normal_distribution<double> noise{0.0, 0.05};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 50.0; v <= 50000.0; v *= 1.3) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.1) * std::exp(noise(rng)));
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 1.1, 0.05);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(stats, power_law_skips_nonpositive_samples) {
+  const auto fit = fit_power_law({0.0, 10.0, 100.0, 1000.0}, {5.0, 10.0, 100.0, 1000.0});
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-9);
+}
+
+TEST(stats, power_law_rejects_degenerate_input) {
+  EXPECT_THROW(fit_power_law({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({5.0, 5.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,114 @@
+#include "wavemig/gen/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/crypto.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(suite, has_exactly_37_benchmarks) {
+  // §V: "We used 37 benchmarks to study the impact of wave pipelining".
+  EXPECT_EQ(gen::benchmark_names().size(), 37u);
+  EXPECT_EQ(gen::build_suite().size(), 37u);
+}
+
+TEST(suite, names_are_unique) {
+  const auto& names = gen::benchmark_names();
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(suite, contains_all_table2_circuits) {
+  const auto& names = gen::benchmark_names();
+  for (const auto& required : gen::table2_names()) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end()) << required;
+  }
+  EXPECT_EQ(gen::table2_names().size(), 7u);
+  EXPECT_EQ(gen::table2_names().front(), "sasc");
+  EXPECT_EQ(gen::table2_names().back(), "diffeq1");
+}
+
+TEST(suite, build_by_name_matches_suite_entry) {
+  const auto net = gen::build_benchmark("mul8");
+  const auto suite = gen::build_suite();
+  const auto it = std::find_if(suite.begin(), suite.end(),
+                               [](const auto& b) { return b.name == "mul8"; });
+  ASSERT_NE(it, suite.end());
+  EXPECT_EQ(net.num_majorities(), it->net.num_majorities());
+  EXPECT_TRUE(functionally_equivalent(net, it->net));
+}
+
+TEST(suite, unknown_name_throws) {
+  EXPECT_THROW(gen::build_benchmark("nonexistent"), std::invalid_argument);
+}
+
+TEST(suite, sizes_span_two_orders_of_magnitude) {
+  // Fig. 5's x-axis runs from ~1e2 to ~1e5 components.
+  std::size_t smallest = SIZE_MAX;
+  std::size_t largest = 0;
+  for (const auto& b : gen::build_suite()) {
+    smallest = std::min(smallest, b.net.num_majorities());
+    largest = std::max(largest, b.net.num_majorities());
+  }
+  EXPECT_LT(smallest, 1000u);
+  EXPECT_GT(largest, 15000u);
+  EXPECT_GT(largest / smallest, 100u);
+}
+
+TEST(suite, depth_profile_mirrors_paper_range) {
+  // Table II spans depths 6..219; the suite must offer both shallow control
+  // circuits and deep arithmetic ones.
+  std::uint32_t shallowest = UINT32_MAX;
+  std::uint32_t deepest = 0;
+  for (const auto& b : gen::build_suite()) {
+    const auto d = compute_levels(b.net).depth;
+    shallowest = std::min(shallowest, d);
+    deepest = std::max(deepest, d);
+  }
+  EXPECT_LE(shallowest, 15u);
+  EXPECT_GE(deepest, 120u);
+}
+
+TEST(suite, every_benchmark_is_pure_mig) {
+  // Suite circuits are logic netlists: majority gates only, no physical
+  // buffers or FOGs before the wave-pipelining passes run.
+  for (const auto& b : gen::build_suite()) {
+    EXPECT_EQ(b.net.num_buffers(), 0u) << b.name;
+    EXPECT_EQ(b.net.num_fanout_gates(), 0u) << b.name;
+    EXPECT_GT(b.net.num_majorities(), 0u) << b.name;
+    EXPECT_GT(b.net.num_pos(), 0u) << b.name;
+  }
+}
+
+TEST(suite, depth_optimization_preserves_generator_function) {
+  // Suite circuits are generator outputs run through depth rewriting
+  // (the paper's "already optimized" precondition); the optimization must
+  // not change the function.
+  const auto raw = gen::des_circuit(4);
+  const auto optimized = gen::build_benchmark("des_area");
+  EXPECT_TRUE(functionally_equivalent(raw, optimized));
+  const auto raw_add = gen::ripple_adder_circuit(32);
+  const auto opt_add = gen::build_benchmark("adder32");
+  EXPECT_TRUE(functionally_equivalent(raw_add, opt_add));
+  EXPECT_LT(compute_levels(opt_add).depth, compute_levels(raw_add).depth);
+}
+
+TEST(suite, deterministic_across_builds) {
+  const auto a = gen::build_suite();
+  const auto b = gen::build_suite();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].net.num_majorities(), b[i].net.num_majorities()) << a[i].name;
+    EXPECT_EQ(a[i].net.num_nodes(), b[i].net.num_nodes()) << a[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace wavemig

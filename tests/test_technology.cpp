@@ -1,0 +1,112 @@
+#include "wavemig/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavemig {
+namespace {
+
+// Table I of the paper, verified constant by constant.
+
+TEST(technology, swd_cell_constants) {
+  const auto t = technology::swd();
+  EXPECT_EQ(t.name, "SWD");
+  EXPECT_DOUBLE_EQ(t.cell_area_um2, 0.002304);
+  EXPECT_DOUBLE_EQ(t.cell_delay_ns, 0.42);
+  EXPECT_DOUBLE_EQ(t.cell_energy_fj, 1.44e-8);
+}
+
+TEST(technology, swd_relative_costs) {
+  const auto t = technology::swd();
+  EXPECT_DOUBLE_EQ(t.inv.area, 2.0);
+  EXPECT_DOUBLE_EQ(t.maj.area, 5.0);
+  EXPECT_DOUBLE_EQ(t.buf.area, 2.0);
+  EXPECT_DOUBLE_EQ(t.fog.area, 5.0);
+  EXPECT_DOUBLE_EQ(t.inv.delay, 1.0);
+  EXPECT_DOUBLE_EQ(t.maj.delay, 1.0);
+  EXPECT_DOUBLE_EQ(t.inv.energy, 1.0);
+  EXPECT_DOUBLE_EQ(t.maj.energy, 3.0);
+  EXPECT_DOUBLE_EQ(t.fog.energy, 3.0);
+}
+
+TEST(technology, qca_cell_constants) {
+  const auto t = technology::qca();
+  EXPECT_EQ(t.name, "QCA");
+  EXPECT_DOUBLE_EQ(t.cell_area_um2, 0.0004);
+  EXPECT_DOUBLE_EQ(t.cell_delay_ns, 0.0012);
+  EXPECT_DOUBLE_EQ(t.cell_energy_fj, 9.80e-7);
+}
+
+TEST(technology, qca_relative_costs) {
+  const auto t = technology::qca();
+  EXPECT_DOUBLE_EQ(t.inv.area, 10.0);
+  EXPECT_DOUBLE_EQ(t.maj.area, 3.0);
+  EXPECT_DOUBLE_EQ(t.buf.area, 1.0);
+  EXPECT_DOUBLE_EQ(t.fog.area, 3.0);
+  EXPECT_DOUBLE_EQ(t.inv.delay, 7.0);
+  EXPECT_DOUBLE_EQ(t.maj.delay, 2.0);
+  EXPECT_DOUBLE_EQ(t.buf.delay, 1.0);
+  EXPECT_DOUBLE_EQ(t.inv.energy, 10.0);
+  EXPECT_DOUBLE_EQ(t.maj.energy, 3.0);
+}
+
+TEST(technology, nml_cell_constants) {
+  const auto t = technology::nml();
+  EXPECT_EQ(t.name, "NML");
+  EXPECT_DOUBLE_EQ(t.cell_area_um2, 0.0098);
+  EXPECT_DOUBLE_EQ(t.cell_delay_ns, 10.0);
+  EXPECT_DOUBLE_EQ(t.cell_energy_fj, 5.00e-4);
+}
+
+TEST(technology, nml_relative_costs) {
+  const auto t = technology::nml();
+  EXPECT_DOUBLE_EQ(t.inv.area, 1.0);
+  EXPECT_DOUBLE_EQ(t.maj.area, 2.0);
+  EXPECT_DOUBLE_EQ(t.buf.area, 2.0);
+  EXPECT_DOUBLE_EQ(t.fog.area, 2.0);
+  EXPECT_DOUBLE_EQ(t.maj.delay, 2.0);
+  EXPECT_DOUBLE_EQ(t.maj.energy, 2.0);
+}
+
+TEST(technology, fog_always_costs_like_a_majority) {
+  // §V: "the fan-out gate (FOG) is equivalent to a reversed majority gate".
+  for (const auto& t : {technology::swd(), technology::qca(), technology::nml()}) {
+    EXPECT_DOUBLE_EQ(t.fog.area, t.maj.area) << t.name;
+    EXPECT_DOUBLE_EQ(t.fog.delay, t.maj.delay) << t.name;
+    EXPECT_DOUBLE_EQ(t.fog.energy, t.maj.energy) << t.name;
+  }
+}
+
+TEST(technology, phase_delays_match_table2_throughputs) {
+  // WP throughput = 1/(3 x phase_delay): 793.65 / 83333.33 / 16.67 MOPS.
+  EXPECT_NEAR(1e3 / (3 * technology::swd().phase_delay_ns), 793.65, 0.01);
+  EXPECT_NEAR(1e3 / (3 * technology::qca().phase_delay_ns), 83333.33, 0.5);
+  EXPECT_NEAR(1e3 / (3 * technology::nml().phase_delay_ns), 16.67, 0.01);
+}
+
+TEST(technology, only_swd_has_sense_amplifiers) {
+  EXPECT_GT(technology::swd().sense_amp_energy_fj, 0.0);
+  EXPECT_DOUBLE_EQ(technology::qca().sense_amp_energy_fj, 0.0);
+  EXPECT_DOUBLE_EQ(technology::nml().sense_amp_energy_fj, 0.0);
+}
+
+TEST(technology, swd_sense_amp_dominates_gate_energy) {
+  // §V calls the SWD sense amplifier "power dominant": it must exceed the
+  // majority-gate switching energy by orders of magnitude.
+  const auto t = technology::swd();
+  EXPECT_GT(t.sense_amp_energy_fj, 1000 * t.cell_energy_fj * t.maj.energy);
+}
+
+TEST(technology, custom_technology_is_constructible) {
+  technology t;
+  t.name = "custom";
+  t.cell_area_um2 = 1.0;
+  t.cell_delay_ns = 2.0;
+  t.cell_energy_fj = 3.0;
+  t.maj = {4.0, 5.0, 6.0};
+  t.phase_delay_ns = 10.0;
+  EXPECT_EQ(t.name, "custom");
+  EXPECT_DOUBLE_EQ(t.maj.delay, 5.0);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,110 @@
+#include "wavemig/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/pipeline.hpp"
+
+namespace wavemig {
+namespace {
+
+/// One majority gate with no inverters anywhere.
+mig_network inverter_free() {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  net.create_po(net.create_maj(a, b, c));
+  return net;
+}
+
+/// A majority gate fed through an unavoidable inverter: both the gate and
+/// its complemented source feed the outputs, so no polarity flip removes it.
+mig_network inverter_bound() {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal d = net.create_pi();
+  const signal m = net.create_maj(a, b, c);
+  net.create_po(m, "pos");                        // m in positive polarity
+  net.create_po(net.create_maj(!m, c, d), "g");   // and complemented into a gate
+  return net;
+}
+
+TEST(timing, inverter_free_stage_is_one_majority) {
+  const auto net = inverter_free();
+  const auto qca = analyze_stage_timing(net, technology::qca());
+  // One MAJ, no inverter: 2 cells x 1.2 ps.
+  EXPECT_DOUBLE_EQ(qca.required_phase_delay_ns, 0.0012 * 2.0);
+  EXPECT_FALSE(qca.critical_has_inverter);
+}
+
+TEST(timing, inverter_adds_to_the_critical_stage) {
+  const auto net = inverter_bound();
+  const auto report = analyze_stage_timing(net, technology::qca());
+  // Worst stage: MAJ (2) + INV (7) = 9 cells.
+  EXPECT_DOUBLE_EQ(report.required_phase_delay_ns, 0.0012 * 9.0);
+  EXPECT_TRUE(report.critical_has_inverter);
+}
+
+TEST(timing, polarity_optimization_can_clear_the_critical_stage) {
+  // A gate with many complemented consumers: without optimization the
+  // stage carries an inverter; flipping the driver removes them all.
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal m = net.create_maj(a, b, !c);
+  net.create_po(net.create_maj(!m, a, b), "f");
+  net.create_po(net.create_maj(!m, b, c), "g");
+  net.create_po(net.create_maj(!m, a, c), "h");
+  net.create_po(!m, "i");
+
+  const auto raw = analyze_stage_timing(net, technology::qca(), 3, false);
+  const auto optimized = analyze_stage_timing(net, technology::qca(), 3, true);
+  EXPECT_LE(optimized.required_phase_delay_ns, raw.required_phase_delay_ns);
+}
+
+TEST(timing, qca_phase_assumption_is_optimistic_with_inverters) {
+  // The paper's implied 4 ps QCA phase cannot fit MAJ+INV (10.8 ps).
+  const auto net = inverter_bound();
+  const auto report = analyze_stage_timing(net, technology::qca());
+  EXPECT_LT(report.slack_ratio, 1.0);
+  EXPECT_LT(report.effective_wp_throughput_mops, 83333.33);
+}
+
+TEST(timing, swd_uniform_delays_cost_one_extra_cell) {
+  // SWD: every relative delay is 1, so the worst stage is 2 cells when an
+  // inverter is present and 1 otherwise.
+  const auto free_net = inverter_free();
+  const auto bound_net = inverter_bound();
+  EXPECT_DOUBLE_EQ(analyze_stage_timing(free_net, technology::swd()).required_phase_delay_ns,
+                   0.42);
+  EXPECT_DOUBLE_EQ(analyze_stage_timing(bound_net, technology::swd()).required_phase_delay_ns,
+                   0.84);
+}
+
+TEST(timing, pipelined_netlists_report_consistent_throughput) {
+  const auto net = gen::multiplier_circuit(4);
+  const auto piped = wave_pipeline(net);
+  for (const auto& tech : {technology::swd(), technology::qca(), technology::nml()}) {
+    const auto report = analyze_stage_timing(piped.net, tech);
+    EXPECT_GT(report.required_phase_delay_ns, 0.0) << tech.name;
+    EXPECT_GT(report.effective_wp_throughput_mops, 0.0) << tech.name;
+    EXPECT_DOUBLE_EQ(report.effective_wp_throughput_mops,
+                     1e3 / (3.0 * report.required_phase_delay_ns))
+        << tech.name;
+  }
+}
+
+TEST(timing, phases_scale_throughput) {
+  const auto net = inverter_free();
+  const auto p3 = analyze_stage_timing(net, technology::nml(), 3);
+  const auto p6 = analyze_stage_timing(net, technology::nml(), 6);
+  EXPECT_DOUBLE_EQ(p3.effective_wp_throughput_mops, 2.0 * p6.effective_wp_throughput_mops);
+  EXPECT_THROW(analyze_stage_timing(net, technology::nml(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,156 @@
+// Tolerance-aware balancing: under a P-phase regeneration clock a
+// non-volatile cell holds its value for P ticks, so an edge may span up to
+// `tolerance + 1` scheduled levels with tolerance <= P - 2 and still deliver
+// the same wave (DESIGN.md §2.2). These tests validate the theory
+// empirically with the cycle-accurate simulator and check the buffer
+// savings.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <tuple>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/suite.hpp"
+#include "wavemig/simulation.hpp"
+#include "wavemig/wave_schedule.hpp"
+#include "wavemig/wave_simulator.hpp"
+
+namespace wavemig {
+namespace {
+
+std::vector<std::vector<bool>> alternating_waves(std::size_t count, std::size_t pis) {
+  // Alternating all-zero / all-one waves maximize interference.
+  std::vector<std::vector<bool>> waves;
+  for (std::size_t w = 0; w < count; ++w) {
+    waves.emplace_back(pis, w % 2 == 1);
+  }
+  return waves;
+}
+
+std::vector<std::vector<bool>> reference_outputs(const mig_network& net,
+                                                 const std::vector<std::vector<bool>>& waves) {
+  std::vector<std::vector<bool>> ref;
+  for (const auto& wave : waves) {
+    ref.push_back(simulate_pattern(net, wave));
+  }
+  return ref;
+}
+
+TEST(tolerance, zero_tolerance_matches_legacy_behaviour) {
+  const auto net = gen::multiplier_circuit(4);
+  buffer_insertion_options exact;
+  exact.tolerance = 0;
+  const auto result = insert_buffers(net, exact);
+  EXPECT_TRUE(check_wave_readiness(result.net).ready);
+  EXPECT_TRUE(check_wave_readiness(result.net, result.schedule, 0).ready);
+  // With tolerance 0 the returned schedule IS the ASAP level map.
+  const auto asap = compute_levels(result.net);
+  EXPECT_EQ(result.schedule.level, asap.level);
+  EXPECT_EQ(result.schedule.depth, asap.depth);
+}
+
+class tolerance_sweep_test
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>> {};
+
+TEST_P(tolerance_sweep_test, saves_buffers_and_stays_coherent) {
+  const auto& [name, tolerance] = GetParam();
+  const auto net = gen::build_benchmark(name);
+
+  buffer_insertion_options exact;
+  buffer_insertion_options tolerant;
+  tolerant.tolerance = tolerance;
+  const auto base = insert_buffers(net, exact);
+  const auto relaxed = insert_buffers(net, tolerant);
+
+  // Fewer (or equal) buffers, same function, readiness under the schedule.
+  EXPECT_LE(relaxed.buffers_added, base.buffers_added);
+  EXPECT_TRUE(functionally_equivalent(net, relaxed.net, 4));
+  const auto readiness = check_wave_readiness(relaxed.net, relaxed.schedule, tolerance);
+  EXPECT_TRUE(readiness.ready) << (readiness.issues.empty() ? "" : readiness.issues.front());
+
+  // Coherence under a clock with phases = tolerance + 2 (the safe bound),
+  // clocked by the returned schedule.
+  const unsigned phases = tolerance + 2;
+  const auto waves = alternating_waves(8, relaxed.net.num_pis());
+  const auto run = run_waves(relaxed.net, waves, phases, relaxed.schedule);
+  EXPECT_EQ(run.outputs, reference_outputs(relaxed.net, waves));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    suite_sweep, tolerance_sweep_test,
+    ::testing::Combine(::testing::Values("mul8", "sasc", "crc32_8", "int2float16"),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_tol" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(tolerance, three_phase_clock_tolerates_gap_one) {
+  // tolerance 1 = P - 2 for the paper's three-phase clock: the standard
+  // clocking scheme already absorbs single-level jumps.
+  const auto net = gen::multiplier_circuit(5);
+  buffer_insertion_options tolerant;
+  tolerant.tolerance = 1;
+  const auto relaxed = insert_buffers(net, tolerant);
+
+  const auto waves = alternating_waves(10, relaxed.net.num_pis());
+  const auto run = run_waves(relaxed.net, waves, 3, relaxed.schedule);
+  EXPECT_EQ(run.outputs, reference_outputs(relaxed.net, waves));
+}
+
+TEST(tolerance, exceeding_the_hold_window_corrupts) {
+  // An edge spanning >= P scheduled levels reads the next wave: build a
+  // skewed netlist with a 4-level jump and run it at P = 3.
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  signal deep = net.create_maj(a, b, c);
+  for (int i = 0; i < 4; ++i) {
+    deep = net.create_maj(deep, b, !c);
+  }
+  net.create_po(net.create_maj(deep, a, b));
+
+  const auto waves = alternating_waves(8, 3);
+  const auto run = run_waves(net, waves, 3);
+  EXPECT_NE(run.outputs, reference_outputs(net, waves));
+}
+
+TEST(tolerance, monotone_buffer_savings) {
+  const auto net = gen::build_benchmark("mul16");
+  std::size_t previous = SIZE_MAX;
+  for (unsigned tol : {0u, 1u, 2u, 3u}) {
+    buffer_insertion_options opts;
+    opts.tolerance = tol;
+    const auto result = insert_buffers(net, opts);
+    EXPECT_LE(result.buffers_added, previous) << "tolerance " << tol;
+    previous = result.buffers_added;
+  }
+}
+
+TEST(tolerance, combined_with_alap_schedule) {
+  const auto net = gen::build_benchmark("mul8");
+  buffer_insertion_options opts;
+  opts.schedule = schedule_policy::alap;
+  opts.tolerance = 1;
+  const auto result = insert_buffers(net, opts);
+  EXPECT_TRUE(check_wave_readiness(result.net, result.schedule, 1).ready);
+  EXPECT_TRUE(functionally_equivalent(net, result.net));
+
+  const auto waves = alternating_waves(8, result.net.num_pis());
+  const auto run = run_waves(result.net, waves, 3, result.schedule);
+  EXPECT_EQ(run.outputs, reference_outputs(result.net, waves));
+}
+
+TEST(tolerance, schedule_rejects_size_mismatch) {
+  const auto net = gen::multiplier_circuit(3);
+  level_map bogus;
+  bogus.level.assign(3, 0);
+  EXPECT_THROW(run_waves(net, alternating_waves(2, net.num_pis()), 3, bogus),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavemig

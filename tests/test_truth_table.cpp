@@ -1,0 +1,138 @@
+#include "wavemig/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace wavemig {
+namespace {
+
+TEST(truth_table, constants) {
+  const auto zero = truth_table::constant(3, false);
+  const auto one = truth_table::constant(3, true);
+  EXPECT_EQ(zero.count_ones(), 0u);
+  EXPECT_EQ(one.count_ones(), 8u);
+  EXPECT_EQ(~zero, one);
+  EXPECT_EQ(~one, zero);
+}
+
+TEST(truth_table, nth_var_patterns_small) {
+  // var 0 over 2 vars: bits 1 and 3 -> 0b1010.
+  const auto x0 = truth_table::nth_var(2, 0);
+  EXPECT_FALSE(x0.get_bit(0));
+  EXPECT_TRUE(x0.get_bit(1));
+  EXPECT_FALSE(x0.get_bit(2));
+  EXPECT_TRUE(x0.get_bit(3));
+
+  const auto x1 = truth_table::nth_var(2, 1);
+  EXPECT_FALSE(x1.get_bit(0));
+  EXPECT_FALSE(x1.get_bit(1));
+  EXPECT_TRUE(x1.get_bit(2));
+  EXPECT_TRUE(x1.get_bit(3));
+}
+
+TEST(truth_table, nth_var_beyond_word_boundary) {
+  // var 7 over 8 vars: second half of every 256-bit block.
+  const auto x7 = truth_table::nth_var(8, 7);
+  EXPECT_FALSE(x7.get_bit(0));
+  EXPECT_FALSE(x7.get_bit(127));
+  EXPECT_TRUE(x7.get_bit(128));
+  EXPECT_TRUE(x7.get_bit(255));
+  EXPECT_EQ(x7.count_ones(), 128u);
+}
+
+TEST(truth_table, bit_accessors) {
+  truth_table tt{4};
+  tt.set_bit(5, true);
+  tt.set_bit(11, true);
+  EXPECT_TRUE(tt.get_bit(5));
+  EXPECT_TRUE(tt.get_bit(11));
+  EXPECT_FALSE(tt.get_bit(6));
+  tt.set_bit(5, false);
+  EXPECT_FALSE(tt.get_bit(5));
+  EXPECT_EQ(tt.count_ones(), 1u);
+}
+
+TEST(truth_table, boolean_operators_match_bitwise_semantics) {
+  const auto a = truth_table::nth_var(3, 0);
+  const auto b = truth_table::nth_var(3, 1);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const bool va = (i >> 0) & 1u;
+    const bool vb = (i >> 1) & 1u;
+    EXPECT_EQ((a & b).get_bit(i), va && vb);
+    EXPECT_EQ((a | b).get_bit(i), va || vb);
+    EXPECT_EQ((a ^ b).get_bit(i), va != vb);
+    EXPECT_EQ((~a).get_bit(i), !va);
+  }
+}
+
+TEST(truth_table, majority_semantics) {
+  const auto a = truth_table::nth_var(3, 0);
+  const auto b = truth_table::nth_var(3, 1);
+  const auto c = truth_table::nth_var(3, 2);
+  const auto m = truth_table::maj(a, b, c);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const int ones = static_cast<int>(i & 1u) + static_cast<int>((i >> 1) & 1u) +
+                     static_cast<int>((i >> 2) & 1u);
+    EXPECT_EQ(m.get_bit(i), ones >= 2) << "minterm " << i;
+  }
+}
+
+TEST(truth_table, majority_contains_and_or) {
+  const auto a = truth_table::nth_var(2, 0);
+  const auto b = truth_table::nth_var(2, 1);
+  EXPECT_EQ(truth_table::maj(a, b, truth_table::constant(2, false)), a & b);
+  EXPECT_EQ(truth_table::maj(a, b, truth_table::constant(2, true)), a | b);
+}
+
+TEST(truth_table, ite_multiplexes) {
+  const auto s = truth_table::nth_var(3, 2);
+  const auto t = truth_table::nth_var(3, 0);
+  const auto e = truth_table::nth_var(3, 1);
+  const auto m = truth_table::ite(s, t, e);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const bool expected = ((i >> 2) & 1u) ? ((i >> 0) & 1u) : ((i >> 1) & 1u);
+    EXPECT_EQ(m.get_bit(i), expected);
+  }
+}
+
+TEST(truth_table, complement_respects_top_word_mask) {
+  // 2-var table uses only 4 bits of the single word; complement must not
+  // leak ones into the unused region (equality would break otherwise).
+  const auto zero = truth_table::constant(2, false);
+  const auto inv = ~zero;
+  EXPECT_EQ(inv.count_ones(), 4u);
+  EXPECT_EQ(~inv, zero);
+}
+
+TEST(truth_table, hex_output) {
+  const auto x0 = truth_table::nth_var(2, 0);
+  EXPECT_EQ(x0.to_hex(), "a");
+  const auto x1 = truth_table::nth_var(3, 1);
+  EXPECT_EQ(x1.to_hex(), "cc");
+  EXPECT_EQ(truth_table::constant(4, true).to_hex(), "ffff");
+}
+
+TEST(truth_table, self_duality_of_majority) {
+  std::mt19937_64 rng{7};
+  for (int round = 0; round < 20; ++round) {
+    truth_table a{6};
+    truth_table b{6};
+    truth_table c{6};
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      a.set_bit(i, (rng() & 1u) != 0);
+      b.set_bit(i, (rng() & 1u) != 0);
+      c.set_bit(i, (rng() & 1u) != 0);
+    }
+    EXPECT_EQ(~truth_table::maj(a, b, c), truth_table::maj(~a, ~b, ~c));
+  }
+}
+
+TEST(truth_table, rejects_too_many_variables) {
+  EXPECT_THROW(truth_table{21}, std::invalid_argument);
+  EXPECT_THROW(truth_table::nth_var(4, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,82 @@
+#include "wavemig/wave_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/gen/arith.hpp"
+
+namespace wavemig {
+namespace {
+
+TEST(wave_schedule, single_gate_is_ready) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  net.create_po(net.create_maj(a, b, c));
+  const auto r = check_wave_readiness(net);
+  EXPECT_TRUE(r.ready);
+  EXPECT_EQ(r.violating_edges, 0u);
+  EXPECT_TRUE(r.outputs_aligned);
+  EXPECT_EQ(r.depth, 1u);
+}
+
+TEST(wave_schedule, detects_level_jumping_edge) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal g1 = net.create_maj(a, b, c);
+  const signal g2 = net.create_maj(g1, a, !b);  // a and b jump a level
+  net.create_po(g2);
+  const auto r = check_wave_readiness(net);
+  EXPECT_FALSE(r.ready);
+  EXPECT_EQ(r.violating_edges, 2u);
+  EXPECT_FALSE(r.issues.empty());
+}
+
+TEST(wave_schedule, detects_misaligned_outputs) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal g1 = net.create_maj(a, b, c);
+  const signal g2 = net.create_maj(g1, net.create_buffer(a), net.create_buffer(b));
+  net.create_po(g1, "shallow");
+  net.create_po(g2, "deep");
+  const auto r = check_wave_readiness(net);
+  EXPECT_EQ(r.violating_edges, 0u);
+  EXPECT_FALSE(r.outputs_aligned);
+  EXPECT_FALSE(r.ready);
+}
+
+TEST(wave_schedule, constant_edges_are_exempt) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  // AND/OR gates at various levels all consume constants; none violate.
+  const signal g1 = net.create_and(a, b);
+  const signal g2 = net.create_or(g1, net.create_buffer(a));
+  net.create_po(g2);
+  net.create_po(constant0, "zero");
+  const auto r = check_wave_readiness(net);
+  EXPECT_TRUE(r.ready);
+}
+
+TEST(wave_schedule, balanced_multiplier_passes) {
+  const auto net = gen::multiplier_circuit(5);
+  EXPECT_FALSE(check_wave_readiness(net).ready);  // raw multiplier is skewed
+  const auto balanced = insert_buffers(net);
+  EXPECT_TRUE(check_wave_readiness(balanced.net).ready);
+}
+
+TEST(wave_schedule, issue_list_is_bounded) {
+  // Hundreds of violations must not produce hundreds of strings.
+  const auto net = gen::multiplier_circuit(8);
+  const auto r = check_wave_readiness(net);
+  EXPECT_GT(r.violating_edges, 8u);
+  EXPECT_LE(r.issues.size(), 8u);
+}
+
+}  // namespace
+}  // namespace wavemig

@@ -1,0 +1,162 @@
+#include "wavemig/wave_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+#include "wavemig/wave_schedule.hpp"
+
+namespace wavemig {
+namespace {
+
+std::vector<std::vector<bool>> random_waves(std::size_t count, std::size_t pis,
+                                            std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  std::vector<std::vector<bool>> waves(count, std::vector<bool>(pis));
+  for (auto& wave : waves) {
+    for (std::size_t i = 0; i < pis; ++i) {
+      wave[i] = (rng() & 1u) != 0;
+    }
+  }
+  return waves;
+}
+
+/// Reference: combinational evaluation wave by wave.
+std::vector<std::vector<bool>> reference_outputs(const mig_network& net,
+                                                 const std::vector<std::vector<bool>>& waves) {
+  std::vector<std::vector<bool>> ref;
+  ref.reserve(waves.size());
+  for (const auto& wave : waves) {
+    ref.push_back(simulate_pattern(net, wave));
+  }
+  return ref;
+}
+
+TEST(wave_simulator, balanced_network_streams_waves_correctly) {
+  const auto net = gen::ripple_adder_circuit(6);
+  const auto balanced = insert_buffers(net).net;
+  ASSERT_TRUE(check_wave_readiness(balanced).ready);
+
+  const auto waves = random_waves(20, balanced.num_pis(), 17);
+  const auto run = run_waves(balanced, waves, 3);
+  EXPECT_EQ(run.outputs, reference_outputs(balanced, waves));
+}
+
+TEST(wave_simulator, pipeline_overlaps_waves) {
+  const auto net = gen::multiplier_circuit(4);
+  const auto balanced = insert_buffers(net).net;
+  const auto depth = compute_levels(balanced).depth;
+
+  const auto waves = random_waves(10, balanced.num_pis(), 23);
+  const auto run = run_waves(balanced, waves, 3);
+  EXPECT_EQ(run.initiation_interval, 3u);
+  EXPECT_EQ(run.waves_in_flight, (depth + 2) / 3);
+  EXPECT_GT(run.waves_in_flight, 1u) << "multiplier depth must allow overlap";
+  // Total ticks ~ (W-1)*phases + depth, far less than W*depth (sequential).
+  EXPECT_LT(run.ticks, static_cast<std::uint64_t>(10) * depth);
+  EXPECT_EQ(run.outputs, reference_outputs(balanced, waves));
+}
+
+TEST(wave_simulator, unbalanced_network_corrupts_waves) {
+  // Path-length difference of 3+ levels between reconvergent paths makes
+  // adjacent waves interfere (§II-C): compare against the combinational
+  // reference with distinct waves.
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  signal deep = net.create_maj(a, b, c);
+  for (int i = 0; i < 4; ++i) {
+    deep = net.create_maj(deep, b, !c);
+  }
+  const signal out = net.create_maj(deep, a, b);  // short path a jumps 5 levels
+  net.create_po(out);
+  ASSERT_FALSE(check_wave_readiness(net).ready);
+
+  // Alternating all-zero / all-one waves maximize interference.
+  std::vector<std::vector<bool>> waves;
+  for (int w = 0; w < 8; ++w) {
+    waves.emplace_back(3, w % 2 == 1);
+  }
+  const auto run = run_waves(net, waves, 3);
+  EXPECT_NE(run.outputs, reference_outputs(net, waves))
+      << "unbalanced netlist must show wave interference";
+}
+
+TEST(wave_simulator, buffer_insertion_fixes_the_same_network) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  signal deep = net.create_maj(a, b, c);
+  for (int i = 0; i < 4; ++i) {
+    deep = net.create_maj(deep, b, !c);
+  }
+  net.create_po(net.create_maj(deep, a, b));
+
+  const auto balanced = insert_buffers(net).net;
+  std::vector<std::vector<bool>> waves;
+  for (int w = 0; w < 8; ++w) {
+    waves.emplace_back(3, w % 2 == 1);
+  }
+  const auto run = run_waves(balanced, waves, 3);
+  EXPECT_EQ(run.outputs, reference_outputs(balanced, waves));
+}
+
+TEST(wave_simulator, latency_matches_depth) {
+  const auto net = gen::ripple_adder_circuit(5);
+  const auto balanced = insert_buffers(net).net;
+  const auto depth = compute_levels(balanced).depth;
+  const auto run = run_waves(balanced, random_waves(1, balanced.num_pis(), 5), 3);
+  EXPECT_EQ(run.latency_ticks, depth);
+  EXPECT_EQ(run.ticks, depth);  // single wave: exactly depth ticks
+}
+
+TEST(wave_simulator, more_phases_tolerate_wider_spacing) {
+  // With phases >= depth there is never more than one wave in flight.
+  const auto net = gen::ripple_adder_circuit(4);
+  const auto balanced = insert_buffers(net).net;
+  const auto depth = compute_levels(balanced).depth;
+  const auto waves = random_waves(6, balanced.num_pis(), 31);
+  const auto run = run_waves(balanced, waves, depth);
+  EXPECT_EQ(run.waves_in_flight, 1u);
+  EXPECT_EQ(run.outputs, reference_outputs(balanced, waves));
+}
+
+TEST(wave_simulator, constant_outputs_replicate_per_wave) {
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  net.create_po(net.create_maj(a, b, c), "logic");
+  net.create_po(constant1, "one");
+  const auto waves = random_waves(4, 3, 41);
+  const auto run = run_waves(net, waves, 3);
+  for (const auto& out : run.outputs) {
+    EXPECT_TRUE(out[1]);
+  }
+}
+
+TEST(wave_simulator, validates_inputs) {
+  mig_network net;
+  net.create_pi();
+  net.create_po(constant0);
+  EXPECT_THROW(run_waves(net, {{true, false}}, 3), std::invalid_argument);
+  EXPECT_THROW(run_waves(net, {{true}}, 0), std::invalid_argument);
+}
+
+TEST(wave_simulator, empty_wave_list_is_noop) {
+  mig_network net;
+  const signal a = net.create_pi();
+  net.create_po(a);
+  const auto run = run_waves(net, {}, 3);
+  EXPECT_TRUE(run.outputs.empty());
+  EXPECT_EQ(run.ticks, 0u);
+}
+
+}  // namespace
+}  // namespace wavemig
