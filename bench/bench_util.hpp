@@ -32,4 +32,23 @@ inline std::string fmt(double value, int precision = 2) {
   return buffer;
 }
 
+/// True when `--json` was passed: the bench should emit machine-readable
+/// records (one JSON object per line) instead of / in addition to its human
+/// tables, so trajectory files (BENCH_*.json) can be scripted from the perf
+/// benches.
+inline bool json_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--json") {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Emits one machine-readable record: {"benchmark": ..., "metric": ..., "value": ...}.
+inline void json_record(const std::string& benchmark, const std::string& metric, double value) {
+  std::printf("{\"benchmark\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}\n",
+              benchmark.c_str(), metric.c_str(), value);
+}
+
 }  // namespace wavemig::bench

@@ -1,0 +1,224 @@
+// Throughput comparison of the three wave-simulation paths on a balanced
+// 64-bit ripple-carry adder netlist (the acceptance benchmark of the engine
+// refactor):
+//
+//   seed scalar — the interpreter the repo shipped with: per tick, walk
+//                 every component of the mig_network, chase fan-ins through
+//                 the node table, snapshot a vector<bool> of the full state.
+//   engine scalar — the compiled tick program: per-clock-phase firing
+//                 lists, flat fan-in refs, in-place byte state.
+//   engine packed — run_waves_packed: 64 independent waves per 64-bit word
+//                 streamed through the folded majority-only program.
+//
+//   $ ./bench/perf_wave_engine [--json] [num_waves]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/engine/compiled_netlist.hpp"
+#include "wavemig/engine/wave_engine.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/wave_simulator.hpp"
+
+using namespace wavemig;
+
+namespace {
+
+/// Verbatim port of the seed's run_waves interpreter (pre-engine), kept here
+/// as the baseline the acceptance criterion is measured against.
+wave_run_result seed_scalar_run_waves(const mig_network& net,
+                                      const std::vector<std::vector<bool>>& waves,
+                                      unsigned phases, const level_map& levels) {
+  const std::uint32_t depth = levels.depth;
+
+  wave_run_result result;
+  result.initiation_interval = phases;
+  result.latency_ticks = depth > 0 ? depth : 1;
+  result.waves_in_flight = (depth + phases - 1) / phases;
+  result.outputs.assign(waves.size(), {});
+  if (waves.empty()) {
+    return result;
+  }
+
+  auto sample_tick = [&](std::uint64_t w, std::uint32_t level) -> std::uint64_t {
+    return w * phases + (level > 0 ? level - 1 : 0);
+  };
+
+  std::uint64_t last_tick = 0;
+  const std::uint64_t last_wave = waves.size() - 1;
+  for (const auto& po : net.pos()) {
+    if (net.is_constant(po.driver.index())) {
+      continue;
+    }
+    last_tick = std::max(last_tick, sample_tick(last_wave, levels[po.driver.index()]));
+  }
+
+  std::vector<bool> value(net.num_nodes(), false);
+  std::vector<bool> snapshot;
+
+  auto read = [&](const std::vector<bool>& state, signal s) {
+    const bool v = state[s.index()];
+    return s.is_complemented() ? !v : v;
+  };
+
+  for (std::uint64_t t = 0; t <= last_tick; ++t) {
+    const std::uint64_t wave = t / phases;
+    if (t % phases == 0 && wave < waves.size()) {
+      for (std::size_t i = 0; i < net.num_pis(); ++i) {
+        value[net.pis()[i]] = waves[wave][i];
+      }
+    }
+
+    snapshot = value;
+    const std::uint32_t fired = static_cast<std::uint32_t>(t % phases);
+    net.foreach_component([&](node_index n) {
+      const std::uint32_t lvl = levels[n];
+      if (lvl == 0 || (lvl - 1) % phases != fired) {
+        return;
+      }
+      const auto fis = net.fanins(n);
+      if (net.is_majority(n)) {
+        const bool a = read(snapshot, fis[0]);
+        const bool b = read(snapshot, fis[1]);
+        const bool c = read(snapshot, fis[2]);
+        value[n] = (a && b) || (b && c) || (a && c);
+      } else {
+        value[n] = read(snapshot, fis[0]);
+      }
+    });
+
+    for (std::size_t p = 0; p < net.num_pos(); ++p) {
+      const signal driver = net.po_signal(p);
+      if (net.is_constant(driver.index())) {
+        continue;
+      }
+      const std::uint32_t lvl = levels[driver.index()];
+      if (t < (lvl > 0 ? lvl - 1 : 0)) {
+        continue;
+      }
+      const std::uint64_t w = (t - (lvl > 0 ? lvl - 1 : 0)) / phases;
+      if (w < waves.size() && t == sample_tick(w, lvl)) {
+        auto& out = result.outputs[w];
+        if (out.empty()) {
+          out.assign(net.num_pos(), false);
+        }
+        out[p] = read(value, driver);
+      }
+    }
+  }
+
+  result.ticks = last_tick + 1;
+  return result;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::json_mode(argc, argv);
+  std::size_t num_waves = 1024;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      char* end = nullptr;
+      num_waves = static_cast<std::size_t>(std::strtoull(argv[i], &end, 10));
+      if (end == argv[i] || *end != '\0' || num_waves == 0) {
+        std::fprintf(stderr, "perf_wave_engine: invalid wave count '%s'\n", argv[i]);
+        return 2;
+      }
+    }
+  }
+  const unsigned phases = 3;
+
+  const auto raw = gen::ripple_adder_circuit(64);
+  const auto balanced = insert_buffers(raw);
+  const auto& net = balanced.net;
+  const auto levels = compute_levels(net);
+
+  std::mt19937_64 rng{2017};
+  std::vector<std::vector<bool>> waves(num_waves, std::vector<bool>(net.num_pis()));
+  for (auto& wave : waves) {
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      wave[i] = (rng() & 1u) != 0;
+    }
+  }
+
+  if (!json) {
+    bench::print_title("wave engine throughput — 64-bit ripple-carry adder, " +
+                       std::to_string(num_waves) + " waves, " + std::to_string(phases) +
+                       "-phase clock");
+    std::printf("netlist: %zu majority gates, %zu buffers, depth %u\n\n",
+                net.num_majorities(), net.num_buffers(), levels.depth);
+  }
+
+  // --- seed scalar baseline -------------------------------------------------
+  auto start = std::chrono::steady_clock::now();
+  const auto seed_run = seed_scalar_run_waves(net, waves, phases, levels);
+  const double seed_s = seconds_since(start);
+
+  // --- engine scalar (compiled tick program) --------------------------------
+  start = std::chrono::steady_clock::now();
+  const auto scalar_run = run_waves(net, waves, phases);
+  const double scalar_s = seconds_since(start);
+
+  // --- engine packed (64 waves per word) ------------------------------------
+  start = std::chrono::steady_clock::now();
+  const auto packed_run = run_waves_packed(net, waves, phases);
+  const double packed_s = seconds_since(start);
+
+  // --- engine packed, steady state (compile + pack amortized) ---------------
+  const engine::compiled_netlist compiled{net, levels};
+  const auto batch = engine::wave_batch::from_waves(waves, net.num_pis());
+  start = std::chrono::steady_clock::now();
+  const auto steady_run = engine::run_waves_packed(compiled, batch, phases);
+  const double steady_s = seconds_since(start);
+
+  if (seed_run.outputs != scalar_run.outputs || seed_run.outputs != packed_run.outputs ||
+      seed_run.outputs != steady_run.unpack()) {
+    std::fprintf(stderr, "FATAL: paths disagree — benchmark results are meaningless\n");
+    return 2;
+  }
+
+  const double seed_wps = static_cast<double>(num_waves) / seed_s;
+  const double scalar_wps = static_cast<double>(num_waves) / scalar_s;
+  const double packed_wps = static_cast<double>(num_waves) / packed_s;
+  const double steady_wps = static_cast<double>(num_waves) / steady_s;
+  const double scalar_speedup = scalar_wps / seed_wps;
+  const double packed_speedup = packed_wps / seed_wps;
+  const double steady_speedup = steady_wps / seed_wps;
+
+  if (json) {
+    bench::json_record("perf_wave_engine", "seed_scalar_waves_per_s", seed_wps);
+    bench::json_record("perf_wave_engine", "engine_scalar_waves_per_s", scalar_wps);
+    bench::json_record("perf_wave_engine", "engine_packed_waves_per_s", packed_wps);
+    bench::json_record("perf_wave_engine", "engine_packed_steady_waves_per_s", steady_wps);
+    bench::json_record("perf_wave_engine", "engine_scalar_speedup", scalar_speedup);
+    bench::json_record("perf_wave_engine", "engine_packed_speedup", packed_speedup);
+    bench::json_record("perf_wave_engine", "engine_packed_steady_speedup", steady_speedup);
+  } else {
+    std::printf("%-22s %14s %14s %10s\n", "path", "time [s]", "waves/s", "speedup");
+    bench::print_rule('-', 64);
+    std::printf("%-22s %14s %14s %10s\n", "seed scalar", bench::fmt(seed_s, 4).c_str(),
+                bench::fmt(seed_wps).c_str(), "1.00x");
+    std::printf("%-22s %14s %14s %9sx\n", "engine scalar", bench::fmt(scalar_s, 4).c_str(),
+                bench::fmt(scalar_wps).c_str(), bench::fmt(scalar_speedup).c_str());
+    std::printf("%-22s %14s %14s %9sx\n", "engine packed", bench::fmt(packed_s, 4).c_str(),
+                bench::fmt(packed_wps).c_str(), bench::fmt(packed_speedup).c_str());
+    std::printf("%-22s %14s %14s %9sx\n", "engine packed (steady)",
+                bench::fmt(steady_s, 4).c_str(), bench::fmt(steady_wps).c_str(),
+                bench::fmt(steady_speedup).c_str());
+    std::printf("\nacceptance: packed >= 10x over seed scalar: %s (%sx)\n",
+                packed_speedup >= 10.0 ? "PASS" : "FAIL",
+                bench::fmt(packed_speedup).c_str());
+  }
+
+  return packed_speedup >= 10.0 ? 0 : 1;
+}

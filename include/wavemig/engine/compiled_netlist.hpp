@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wavemig/levels.hpp"
+#include "wavemig/mig.hpp"
+
+namespace wavemig::engine {
+
+/// Reference to a value slot with a complement attribute, mirroring the
+/// encoding of wavemig::signal but resolved against the dense slot layout of
+/// a compiled program: bit 0 is the complement, the remaining bits the slot.
+using slot_ref = std::uint32_t;
+
+/// All-ones when the reference carries a complement, zero otherwise — the
+/// branch-free form of `ref & 1 ? ~v : v` for 64-bit words.
+constexpr std::uint64_t complement_mask(slot_ref ref) {
+  return static_cast<std::uint64_t>(0) - static_cast<std::uint64_t>(ref & 1u);
+}
+
+/// One-time lowering of a `mig_network` plus a clock schedule into flat
+/// structure-of-arrays form. All per-tick decisions of the interpreters —
+/// kind dispatch, fan-in chasing through `std::array<signal, 3>`,
+/// `vector<bool>` proxies — are resolved at compile time into two programs:
+///
+/// * a **combinational program** (`comb` arrays): majority gates only, with
+///   buffers and fan-out gates folded away by reference forwarding. This is
+///   the engine behind `simulate_words`, `simulate_truth_tables` and the
+///   packed wave path, where identity components contribute nothing.
+/// * a **tick program** (`tick` arrays): every physical component with its
+///   scheduled level, preserving the cycle-accurate semantics of
+///   `run_waves` — including wave interference on unbalanced netlists.
+///
+/// A compiled netlist is immutable and can be shared by any number of
+/// concurrent evaluations; all mutable state lives in caller-provided
+/// scratch vectors.
+class compiled_netlist {
+public:
+  /// Majority operation of the combinational program. Fan-ins are
+  /// `slot_ref`s into the combinational slot array.
+  struct maj_op {
+    std::uint32_t target;
+    slot_ref a, b, c;
+  };
+
+  enum class tick_kind : std::uint8_t { majority, copy };
+
+  /// Physical component of the tick program. Fan-ins are `slot_ref`s into
+  /// the per-node state array (slot == node index).
+  struct tick_op {
+    std::uint32_t target;
+    slot_ref a, b, c;        ///< copy ops use only `a`
+    std::uint32_t level;     ///< scheduled level (>= 1 for components)
+    tick_kind kind;
+  };
+
+  /// Compiles against the network's ASAP levels.
+  explicit compiled_netlist(const mig_network& net);
+
+  /// Compiles against an explicit clock schedule (required for
+  /// tolerance-balanced netlists; see buffer_insertion_options::tolerance).
+  /// Throws std::invalid_argument if the schedule does not match the network.
+  compiled_netlist(const mig_network& net, const level_map& schedule);
+
+  /// Compiles only the combinational program — no level computation, no
+  /// tick program, no coherence metadata (wave_coherent is always false).
+  /// The cheap lowering for purely combinational consumers
+  /// (simulate_words & friends).
+  static compiled_netlist comb_only(const mig_network& net);
+
+  /// @name Interface shape
+  /// @{
+  [[nodiscard]] std::size_t num_pis() const { return num_pis_; }
+  [[nodiscard]] std::size_t num_pos() const { return num_pos_; }
+  /// Majority operations in the combinational program.
+  [[nodiscard]] std::size_t num_comb_ops() const { return comb_ops_.size(); }
+  /// Physical components in the tick program.
+  [[nodiscard]] std::size_t num_tick_ops() const { return tick_ops_.size(); }
+  /// Scheduled depth (max level over all primary-output drivers).
+  [[nodiscard]] std::uint32_t depth() const { return depth_; }
+  /// @}
+
+  /// @name Coherence metadata
+  ///
+  /// Span of a data edge = level(consumer) - level(producer), constants
+  /// excluded. Under a P-phase clock every wave stays coherent iff every
+  /// edge span lies in [1, P] (DESIGN.md §2.2); `wave_coherent` is that
+  /// predicate. Packed execution requires it; the tick program does not.
+  /// @{
+  [[nodiscard]] std::uint32_t min_edge_span() const { return min_edge_span_; }
+  [[nodiscard]] std::uint32_t max_edge_span() const { return max_edge_span_; }
+  [[nodiscard]] bool wave_coherent(unsigned phases) const {
+    return min_edge_span_ >= 1 && max_edge_span_ <= phases;
+  }
+  /// @}
+
+  /// @name Combinational evaluation
+  /// @{
+
+  /// Evaluates the combinational program over any word type supporting
+  /// `~`, `&` and `|` (e.g. `std::uint64_t`, `truth_table`). `pi_value(i)`
+  /// returns the word of PI position i; `zero` is the all-zero word (it
+  /// carries the width for `truth_table`). `slots` is reusable scratch;
+  /// read results with `po_value`.
+  template <typename Word, typename PiFn>
+  void eval(PiFn&& pi_value, const Word& zero, std::vector<Word>& slots) const {
+    slots.clear();
+    slots.resize(comb_slot_count_, zero);
+    for (std::uint32_t i = 0; i < num_pis_; ++i) {
+      slots[1 + i] = pi_value(i);
+    }
+    for (const auto& o : comb_ops_) {
+      const Word a = read_slot(slots, o.a);
+      const Word b = read_slot(slots, o.b);
+      const Word c = read_slot(slots, o.c);
+      slots[o.target] = (a & b) | (b & c) | (a & c);
+    }
+  }
+
+  /// Value of primary output `position` after `eval` filled `slots`.
+  template <typename Word>
+  [[nodiscard]] Word po_value(const std::vector<Word>& slots, std::size_t position) const {
+    return read_slot(slots, comb_po_refs_[position]);
+  }
+
+  /// Bit-parallel evaluation of 64 input patterns: `pi_words[i]` packs 64
+  /// values of PI i, one output word per PO is appended to `po_words`.
+  /// `slots` is reusable scratch — the hot path of the packed wave engine.
+  void eval_words_into(const std::uint64_t* pi_words, std::uint64_t* po_words,
+                       std::vector<std::uint64_t>& slots) const;
+
+  /// Convenience wrapper; validates the input width.
+  [[nodiscard]] std::vector<std::uint64_t> eval_words(
+      const std::vector<std::uint64_t>& pi_words) const;
+
+  /// @}
+  /// @name Tick program access (cycle-accurate wave simulation)
+  /// @{
+
+  [[nodiscard]] const std::vector<tick_op>& tick_ops() const { return tick_ops_; }
+  /// State slots of the tick program (one per network node).
+  [[nodiscard]] std::size_t tick_slot_count() const { return tick_slot_count_; }
+  /// Node slots of the primary inputs, in PI position order.
+  [[nodiscard]] const std::vector<std::uint32_t>& pi_slots() const { return pi_slots_; }
+  /// Per PO: reference into the tick state array.
+  [[nodiscard]] const std::vector<slot_ref>& po_refs() const { return po_refs_; }
+  /// Per PO: scheduled level of the driver (0 for PIs and constants).
+  [[nodiscard]] const std::vector<std::uint32_t>& po_levels() const { return po_levels_; }
+  /// Per PO: true when driven by the constant node.
+  [[nodiscard]] const std::vector<bool>& po_constant() const { return po_constant_; }
+
+  /// @}
+
+  template <typename Word>
+  [[nodiscard]] static Word read_slot(const std::vector<Word>& slots, slot_ref ref) {
+    const Word& v = slots[ref >> 1];
+    return (ref & 1u) != 0 ? ~v : v;
+  }
+
+private:
+  compiled_netlist() = default;
+
+  /// Lowers the network; a null schedule skips the tick program and
+  /// coherence metadata (comb_only mode).
+  void lower(const mig_network& net, const level_map* schedule);
+
+  std::uint32_t num_pis_{0};
+  std::uint32_t num_pos_{0};
+  std::uint32_t depth_{0};
+  std::uint32_t min_edge_span_{0};
+  std::uint32_t max_edge_span_{0};
+
+  // Combinational program: slot 0 = constant 0, slots 1..num_pis = PIs,
+  // then one slot per majority gate.
+  std::uint32_t comb_slot_count_{0};
+  std::vector<maj_op> comb_ops_;
+  std::vector<slot_ref> comb_po_refs_;
+
+  // Tick program: slot == node index.
+  std::uint32_t tick_slot_count_{0};
+  std::vector<tick_op> tick_ops_;
+  std::vector<std::uint32_t> pi_slots_;
+  std::vector<slot_ref> po_refs_;
+  std::vector<std::uint32_t> po_levels_;
+  std::vector<bool> po_constant_;
+};
+
+}  // namespace wavemig::engine

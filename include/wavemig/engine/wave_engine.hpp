@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wavemig/engine/compiled_netlist.hpp"
+#include "wavemig/wave_simulator.hpp"
+
+namespace wavemig::engine {
+
+/// Packed batch of input waves: 64 waves per 64-bit word. Chunk c holds
+/// waves [64c, 64c + 64); inside a chunk, `words[c * num_pis + i]` packs the
+/// value of PI i for those 64 waves (wave w at bit w % 64).
+class wave_batch {
+public:
+  explicit wave_batch(std::size_t num_pis) : num_pis_{num_pis} {}
+
+  [[nodiscard]] std::size_t num_pis() const { return num_pis_; }
+  [[nodiscard]] std::size_t num_waves() const { return num_waves_; }
+  [[nodiscard]] std::size_t num_chunks() const { return (num_waves_ + 63) / 64; }
+  [[nodiscard]] bool empty() const { return num_waves_ == 0; }
+
+  /// Appends one wave (one bool per PI). Throws std::invalid_argument on a
+  /// width mismatch.
+  void append(const std::vector<bool>& wave);
+
+  [[nodiscard]] bool input(std::size_t wave, std::size_t pi) const {
+    const std::uint64_t word = words_[(wave / 64) * num_pis_ + pi];
+    return ((word >> (wave % 64)) & 1u) != 0;
+  }
+
+  /// The `num_pis` packed words of chunk `chunk`.
+  [[nodiscard]] const std::uint64_t* chunk_words(std::size_t chunk) const {
+    return words_.data() + chunk * num_pis_;
+  }
+
+  static wave_batch from_waves(const std::vector<std::vector<bool>>& waves, std::size_t num_pis);
+
+private:
+  std::size_t num_pis_;
+  std::size_t num_waves_{0};
+  std::vector<std::uint64_t> words_;
+};
+
+/// Result of a packed wave run: 64 waves per word, chunk-major like
+/// wave_batch (`words[c * num_pos + p]` packs PO p of chunk c). Clocking
+/// metadata matches what the cycle-accurate simulator reports for the same
+/// run.
+struct packed_wave_result {
+  std::size_t num_pos{0};
+  std::size_t num_waves{0};
+  std::vector<std::uint64_t> words;
+  std::uint64_t ticks{0};
+  std::uint32_t latency_ticks{0};
+  std::uint32_t initiation_interval{0};
+  std::uint32_t waves_in_flight{0};
+
+  [[nodiscard]] bool output(std::size_t wave, std::size_t po) const {
+    const std::uint64_t word = words[(wave / 64) * num_pos + po];
+    return ((word >> (wave % 64)) & 1u) != 0;
+  }
+
+  /// Unpacks into the per-wave bool layout of wave_run_result::outputs.
+  [[nodiscard]] std::vector<std::vector<bool>> unpack() const;
+};
+
+/// Cycle-accurate wave simulation on the compiled tick program — the exact
+/// semantics of wavemig::run_waves (including wave interference on
+/// unbalanced netlists), minus the interpreter overhead: components are
+/// pre-bucketed into per-clock-phase firing lists and, when every edge
+/// advances at least one level per tick, updated in place in decreasing
+/// level order instead of snapshotting the full state every tick.
+wave_run_result run_waves(const compiled_netlist& net,
+                          const std::vector<std::vector<bool>>& waves, unsigned phases);
+
+/// Packed wave-pipelined execution: 64 independent waves per 64-bit word
+/// per step. Requires `net.wave_coherent(phases)` — on a coherent netlist
+/// every wave's sampled outputs equal the combinational evaluation of that
+/// wave's inputs (§II-C), which the engine exploits to stream whole chunks
+/// through the folded majority program. Throws std::invalid_argument when
+/// the netlist is not coherent under `phases` (use the cycle-accurate
+/// `run_waves` to observe interference) or when `phases == 0`.
+packed_wave_result run_waves_packed(const compiled_netlist& net, const wave_batch& waves,
+                                    unsigned phases);
+
+/// Streaming front-end over the packed engine for workloads whose waves
+/// arrive incrementally: waves are accumulated into 64-wave chunks and each
+/// full chunk is evaluated immediately with reusable scratch, so memory
+/// stays constant regardless of stream length.
+class wave_stream {
+public:
+  /// The compiled netlist must outlive the stream. Throws
+  /// std::invalid_argument when the netlist is not wave-coherent under
+  /// `phases` or `phases == 0`.
+  wave_stream(const compiled_netlist& net, unsigned phases);
+
+  /// Enqueues one wave; evaluates transparently once 64 are pending.
+  void push(const std::vector<bool>& wave);
+
+  [[nodiscard]] std::size_t waves_pushed() const { return pushed_; }
+  /// Waves whose outputs are already available in the result.
+  [[nodiscard]] std::size_t waves_completed() const { return completed_; }
+
+  /// Flushes any pending partial chunk and returns the accumulated result
+  /// for every pushed wave. The stream is reusable afterwards (resets).
+  packed_wave_result finish();
+
+private:
+  void flush_chunk();
+
+  const compiled_netlist& net_;
+  unsigned phases_;
+  wave_batch pending_;
+  packed_wave_result result_;
+  std::vector<std::uint64_t> scratch_;
+  std::size_t pushed_{0};
+  std::size_t completed_{0};
+};
+
+}  // namespace wavemig::engine

@@ -48,4 +48,23 @@ wave_run_result run_waves(const mig_network& net, const std::vector<std::vector<
 wave_run_result run_waves(const mig_network& net, const std::vector<std::vector<bool>>& waves,
                           unsigned phases, const level_map& schedule);
 
+/// Packed wave-pipelined execution: 64 independent waves per 64-bit word per
+/// step, wave-for-wave identical to `run_waves` on any wave-coherent netlist
+/// (every edge span in [1, phases] under the schedule — what insert_buffers
+/// produces). Throws std::invalid_argument on malformed input, or when the
+/// netlist is not coherent under `phases` (an incoherent netlist exhibits
+/// wave interference, which only the cycle-accurate `run_waves` models).
+///
+/// This is the drop-in convenience form; high-throughput and streaming
+/// callers should compile once and use the engine API directly
+/// (engine/wave_engine.hpp: run_waves_packed on a wave_batch, wave_stream).
+wave_run_result run_waves_packed(const mig_network& net,
+                                 const std::vector<std::vector<bool>>& waves,
+                                 unsigned phases = 3);
+
+/// Same, under an explicit clock schedule.
+wave_run_result run_waves_packed(const mig_network& net,
+                                 const std::vector<std::vector<bool>>& waves, unsigned phases,
+                                 const level_map& schedule);
+
 }  // namespace wavemig

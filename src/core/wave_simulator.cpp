@@ -2,9 +2,34 @@
 
 #include <stdexcept>
 
+#include "wavemig/engine/compiled_netlist.hpp"
+#include "wavemig/engine/wave_engine.hpp"
 #include "wavemig/levels.hpp"
 
+// Thin front-ends over the compiled execution engine (engine/): the network
+// is lowered once per call and the engine's pre-bucketed tick program (or
+// the packed combinational program) does the actual work. See
+// engine/wave_engine.hpp for the execution model.
+
 namespace wavemig {
+
+namespace {
+
+// Validation lives in the engine layer: the compiled_netlist constructor
+// rejects a mismatched schedule, engine::run_waves checks phases and wave
+// widths, and wave_batch/run_waves_packed cover the packed path.
+
+wave_run_result unpack_packed(const engine::packed_wave_result& packed) {
+  wave_run_result result;
+  result.outputs = packed.unpack();
+  result.ticks = packed.ticks;
+  result.latency_ticks = packed.latency_ticks;
+  result.initiation_interval = packed.initiation_interval;
+  result.waves_in_flight = packed.waves_in_flight;
+  return result;
+}
+
+}  // namespace
 
 wave_run_result run_waves(const mig_network& net, const std::vector<std::vector<bool>>& waves,
                           unsigned phases) {
@@ -12,118 +37,22 @@ wave_run_result run_waves(const mig_network& net, const std::vector<std::vector<
 }
 
 wave_run_result run_waves(const mig_network& net, const std::vector<std::vector<bool>>& waves,
-                          unsigned phases, const level_map& levels) {
-  if (phases == 0) {
-    throw std::invalid_argument{"run_waves: at least one clock phase required"};
-  }
-  if (levels.level.size() != net.num_nodes()) {
-    throw std::invalid_argument{"run_waves: schedule does not match the network"};
-  }
-  for (const auto& wave : waves) {
-    if (wave.size() != net.num_pis()) {
-      throw std::invalid_argument{"run_waves: each wave needs one value per primary input"};
-    }
-  }
+                          unsigned phases, const level_map& schedule) {
+  const engine::compiled_netlist compiled{net, schedule};
+  return engine::run_waves(compiled, waves, phases);
+}
 
-  const std::uint32_t depth = levels.depth;
+wave_run_result run_waves_packed(const mig_network& net,
+                                 const std::vector<std::vector<bool>>& waves, unsigned phases) {
+  return run_waves_packed(net, waves, phases, compute_levels(net));
+}
 
-  wave_run_result result;
-  result.initiation_interval = phases;
-  result.latency_ticks = depth > 0 ? depth : 1;
-  result.waves_in_flight = (depth + phases - 1) / phases;
-  result.outputs.assign(waves.size(), {});
-  if (waves.empty()) {
-    return result;
-  }
-
-  // Sample tick of wave w at a driver of level l: the tick where that driver
-  // latches wave w. Level-0 drivers (PIs) are sampled at injection time.
-  auto sample_tick = [&](std::uint64_t w, std::uint32_t level) -> std::uint64_t {
-    return w * phases + (level > 0 ? level - 1 : 0);
-  };
-
-  std::uint64_t last_tick = 0;
-  const std::uint64_t last_wave = waves.size() - 1;
-  for (const auto& po : net.pos()) {
-    if (net.is_constant(po.driver.index())) {
-      continue;
-    }
-    last_tick = std::max(last_tick, sample_tick(last_wave, levels[po.driver.index()]));
-  }
-
-  std::vector<bool> value(net.num_nodes(), false);
-  std::vector<bool> snapshot;
-
-  auto read = [&](const std::vector<bool>& state, signal s) {
-    const bool v = state[s.index()];
-    return s.is_complemented() ? !v : v;
-  };
-
-  for (std::uint64_t t = 0; t <= last_tick; ++t) {
-    // Present the input wave for this initiation slot (inputs hold their
-    // value between injections).
-    const std::uint64_t wave = t / phases;
-    if (t % phases == 0 && wave < waves.size()) {
-      for (std::size_t i = 0; i < net.num_pis(); ++i) {
-        value[net.pis()[i]] = waves[wave][i];
-      }
-    }
-
-    // Synchronous update of the fired phase from the pre-tick state.
-    snapshot = value;
-    const std::uint32_t fired = static_cast<std::uint32_t>(t % phases);
-    net.foreach_component([&](node_index n) {
-      const std::uint32_t lvl = levels[n];
-      if (lvl == 0 || (lvl - 1) % phases != fired) {
-        return;
-      }
-      const auto fis = net.fanins(n);
-      if (net.is_majority(n)) {
-        const bool a = read(snapshot, fis[0]);
-        const bool b = read(snapshot, fis[1]);
-        const bool c = read(snapshot, fis[2]);
-        value[n] = (a && b) || (b && c) || (a && c);
-      } else {
-        value[n] = read(snapshot, fis[0]);
-      }
-    });
-
-    // Sample every output whose driver just latched its wave.
-    for (std::size_t p = 0; p < net.num_pos(); ++p) {
-      const signal driver = net.po_signal(p);
-      if (net.is_constant(driver.index())) {
-        continue;
-      }
-      const std::uint32_t lvl = levels[driver.index()];
-      if (t < (lvl > 0 ? lvl - 1 : 0)) {
-        continue;  // before the first wave can arrive
-      }
-      const std::uint64_t w = (t - (lvl > 0 ? lvl - 1 : 0)) / phases;
-      if (w < waves.size() && t == sample_tick(w, lvl)) {
-        auto& out = result.outputs[w];
-        if (out.empty()) {
-          out.assign(net.num_pos(), false);
-        }
-        out[p] = read(value, driver);
-      }
-    }
-  }
-
-  // Constant-driven outputs are the same for every wave.
-  for (std::size_t p = 0; p < net.num_pos(); ++p) {
-    const signal driver = net.po_signal(p);
-    if (net.is_constant(driver.index())) {
-      for (auto& out : result.outputs) {
-        if (out.empty()) {
-          out.assign(net.num_pos(), false);
-        }
-        out[p] = driver.is_complemented();
-      }
-    }
-  }
-
-  result.ticks = last_tick + 1;
-  return result;
+wave_run_result run_waves_packed(const mig_network& net,
+                                 const std::vector<std::vector<bool>>& waves, unsigned phases,
+                                 const level_map& schedule) {
+  const engine::compiled_netlist compiled{net, schedule};
+  const auto batch = engine::wave_batch::from_waves(waves, net.num_pis());
+  return unpack_packed(engine::run_waves_packed(compiled, batch, phases));
 }
 
 }  // namespace wavemig

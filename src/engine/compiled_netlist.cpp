@@ -1,0 +1,155 @@
+#include "wavemig/engine/compiled_netlist.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace wavemig::engine {
+
+compiled_netlist::compiled_netlist(const mig_network& net)
+    : compiled_netlist{net, compute_levels(net)} {}
+
+compiled_netlist::compiled_netlist(const mig_network& net, const level_map& schedule) {
+  if (schedule.level.size() != net.num_nodes()) {
+    throw std::invalid_argument{"compiled_netlist: schedule does not match the network"};
+  }
+  lower(net, &schedule);
+}
+
+compiled_netlist compiled_netlist::comb_only(const mig_network& net) {
+  compiled_netlist compiled;
+  compiled.lower(net, nullptr);
+  return compiled;
+}
+
+void compiled_netlist::lower(const mig_network& net, const level_map* schedule) {
+  num_pis_ = static_cast<std::uint32_t>(net.num_pis());
+  num_pos_ = static_cast<std::uint32_t>(net.num_pos());
+  depth_ = schedule != nullptr ? schedule->depth : 0;
+  tick_slot_count_ = static_cast<std::uint32_t>(net.num_nodes());
+
+  // Combinational program: fold buffers/fan-out gates by reference
+  // forwarding, so the hot loop touches majority gates only. `comb_ref[n]`
+  // is the resolved slot reference of node n's regular (non-complemented)
+  // output.
+  std::vector<slot_ref> comb_ref(net.num_nodes(), 0);
+  comb_slot_count_ = 1 + num_pis_;  // slot 0 = constant, then the PIs
+  comb_ops_.clear();
+  comb_ops_.reserve(net.num_majorities());
+  tick_ops_.clear();
+  if (schedule != nullptr) {
+    tick_ops_.reserve(net.num_components());
+  }
+  pi_slots_.assign(num_pis_, 0);
+
+  min_edge_span_ = std::numeric_limits<std::uint32_t>::max();
+  max_edge_span_ = 0;
+  bool any_edge = false;
+
+  const auto resolve = [&](signal s) -> slot_ref {
+    return comb_ref[s.index()] ^ static_cast<slot_ref>(s.is_complemented());
+  };
+  const auto tick_ref = [](signal s) -> slot_ref {
+    return (s.index() << 1u) | static_cast<slot_ref>(s.is_complemented());
+  };
+  const auto note_edge = [&](node_index consumer, signal fanin) {
+    if (net.is_constant(fanin.index())) {
+      return;  // constant fan-ins carry no data wave
+    }
+    any_edge = true;
+    const std::uint32_t consumer_level = (*schedule)[consumer];
+    const std::uint32_t producer_level = (*schedule)[fanin.index()];
+    const std::uint32_t span =
+        consumer_level > producer_level ? consumer_level - producer_level : 0;
+    min_edge_span_ = std::min(min_edge_span_, span);
+    max_edge_span_ = std::max(max_edge_span_, span);
+  };
+
+  net.foreach_node([&](node_index n) {
+    switch (net.kind(n)) {
+      case node_kind::constant:
+        comb_ref[n] = 0;  // slot 0, regular edge
+        break;
+      case node_kind::primary_input: {
+        const auto position = static_cast<std::uint32_t>(net.pi_position(n));
+        comb_ref[n] = (1 + position) << 1u;
+        pi_slots_[position] = n;
+        break;
+      }
+      case node_kind::majority: {
+        const auto fis = net.fanins(n);
+        const std::uint32_t slot = comb_slot_count_++;
+        comb_ops_.push_back({slot, resolve(fis[0]), resolve(fis[1]), resolve(fis[2])});
+        comb_ref[n] = slot << 1u;
+        if (schedule != nullptr) {
+          tick_ops_.push_back({n, tick_ref(fis[0]), tick_ref(fis[1]), tick_ref(fis[2]),
+                               (*schedule)[n], tick_kind::majority});
+          note_edge(n, fis[0]);
+          note_edge(n, fis[1]);
+          note_edge(n, fis[2]);
+        }
+        break;
+      }
+      case node_kind::buffer:
+      case node_kind::fanout: {
+        const signal in = net.fanins(n)[0];
+        comb_ref[n] = resolve(in);
+        if (schedule != nullptr) {
+          tick_ops_.push_back({n, tick_ref(in), 0, 0, (*schedule)[n], tick_kind::copy});
+          note_edge(n, in);
+        }
+        break;
+      }
+    }
+  });
+
+  if (schedule == nullptr) {
+    min_edge_span_ = 0;  // no schedule: never wave-coherent
+    max_edge_span_ = 0;
+  } else if (!any_edge) {
+    min_edge_span_ = 1;  // vacuous coherence (constant / PI-only networks)
+    max_edge_span_ = 1;
+  }
+
+  comb_po_refs_.assign(num_pos_, 0);
+  po_refs_.assign(num_pos_, 0);
+  po_levels_.assign(num_pos_, 0);
+  po_constant_.assign(num_pos_, false);
+  for (std::size_t p = 0; p < num_pos_; ++p) {
+    const signal driver = net.po_signal(p);
+    comb_po_refs_[p] = resolve(driver);
+    po_refs_[p] = tick_ref(driver);
+    po_levels_[p] = schedule != nullptr ? (*schedule)[driver.index()] : 0;
+    po_constant_[p] = net.is_constant(driver.index());
+  }
+}
+
+void compiled_netlist::eval_words_into(const std::uint64_t* pi_words, std::uint64_t* po_words,
+                                       std::vector<std::uint64_t>& slots) const {
+  slots.resize(comb_slot_count_);
+  slots[0] = 0;
+  std::copy(pi_words, pi_words + num_pis_, slots.begin() + 1);
+  for (const auto& o : comb_ops_) {
+    const std::uint64_t a = slots[o.a >> 1] ^ complement_mask(o.a);
+    const std::uint64_t b = slots[o.b >> 1] ^ complement_mask(o.b);
+    const std::uint64_t c = slots[o.c >> 1] ^ complement_mask(o.c);
+    slots[o.target] = (a & b) | (b & c) | (a & c);
+  }
+  for (std::size_t p = 0; p < num_pos_; ++p) {
+    const slot_ref ref = comb_po_refs_[p];
+    po_words[p] = slots[ref >> 1] ^ complement_mask(ref);
+  }
+}
+
+std::vector<std::uint64_t> compiled_netlist::eval_words(
+    const std::vector<std::uint64_t>& pi_words) const {
+  if (pi_words.size() != num_pis_) {
+    throw std::invalid_argument{"compiled_netlist: one word per primary input required"};
+  }
+  std::vector<std::uint64_t> po_words(num_pos_);
+  std::vector<std::uint64_t> slots;
+  eval_words_into(pi_words.data(), po_words.data(), slots);
+  return po_words;
+}
+
+}  // namespace wavemig::engine

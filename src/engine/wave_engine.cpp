@@ -1,0 +1,274 @@
+#include "wavemig/engine/wave_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace wavemig::engine {
+
+namespace {
+
+/// Clocking metadata shared by the cycle-accurate and packed paths; the
+/// formulas mirror the sampling schedule of the tick simulator exactly.
+template <typename Result>
+void fill_clock_metrics(Result& result, const compiled_netlist& net, unsigned phases,
+                        std::size_t num_waves) {
+  const std::uint32_t depth = net.depth();
+  result.initiation_interval = phases;
+  result.latency_ticks = depth > 0 ? depth : 1;
+  result.waves_in_flight = (depth + phases - 1) / phases;
+  if (num_waves == 0) {
+    result.ticks = 0;
+    return;
+  }
+  std::uint64_t last_tick = 0;
+  const std::uint64_t last_wave = num_waves - 1;
+  for (std::size_t p = 0; p < net.num_pos(); ++p) {
+    if (net.po_constant()[p]) {
+      continue;
+    }
+    const std::uint32_t lvl = net.po_levels()[p];
+    last_tick = std::max(last_tick, last_wave * phases + (lvl > 0 ? lvl - 1 : 0));
+  }
+  result.ticks = last_tick + 1;
+}
+
+}  // namespace
+
+void wave_batch::append(const std::vector<bool>& wave) {
+  if (wave.size() != num_pis_) {
+    throw std::invalid_argument{"wave_batch: each wave needs one value per primary input"};
+  }
+  const std::size_t bit = num_waves_ % 64;
+  if (bit == 0) {
+    words_.insert(words_.end(), num_pis_, 0);
+  }
+  std::uint64_t* chunk = words_.data() + (num_waves_ / 64) * num_pis_;
+  for (std::size_t i = 0; i < num_pis_; ++i) {
+    chunk[i] |= static_cast<std::uint64_t>(wave[i]) << bit;
+  }
+  ++num_waves_;
+}
+
+wave_batch wave_batch::from_waves(const std::vector<std::vector<bool>>& waves,
+                                  std::size_t num_pis) {
+  wave_batch batch{num_pis};
+  for (const auto& wave : waves) {
+    batch.append(wave);
+  }
+  return batch;
+}
+
+std::vector<std::vector<bool>> packed_wave_result::unpack() const {
+  std::vector<std::vector<bool>> out(num_waves, std::vector<bool>(num_pos, false));
+  for (std::size_t w = 0; w < num_waves; ++w) {
+    for (std::size_t p = 0; p < num_pos; ++p) {
+      out[w][p] = output(w, p);
+    }
+  }
+  return out;
+}
+
+wave_run_result run_waves(const compiled_netlist& net,
+                          const std::vector<std::vector<bool>>& waves, unsigned phases) {
+  if (phases == 0) {
+    throw std::invalid_argument{"run_waves: at least one clock phase required"};
+  }
+  for (const auto& wave : waves) {
+    if (wave.size() != net.num_pis()) {
+      throw std::invalid_argument{"run_waves: each wave needs one value per primary input"};
+    }
+  }
+
+  wave_run_result result;
+  fill_clock_metrics(result, net, phases, waves.size());
+  result.outputs.assign(waves.size(), {});
+  if (waves.empty()) {
+    return result;
+  }
+  const std::uint64_t last_tick = result.ticks - 1;
+
+  // Per-clock-phase firing lists, resolved once instead of per tick. Ops in
+  // a list are ordered by decreasing level so the in-place update below
+  // preserves synchronous (pre-tick snapshot) semantics: every data edge
+  // spans >= 1 level, hence a consumer always updates before its producer
+  // within the same tick. Only min(phases, max level) buckets can be
+  // non-empty, so allocation stays bounded by the netlist, not by `phases`.
+  const auto& ops = net.tick_ops();
+  std::uint32_t max_level = 0;
+  for (const auto& o : ops) {
+    max_level = std::max(max_level, o.level);
+  }
+  const std::size_t num_buckets = std::min<std::uint64_t>(phases, max_level);
+  std::vector<std::vector<std::uint32_t>> phase_ops(num_buckets);
+  for (std::uint32_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].level == 0) {
+      continue;  // unscheduled component: never fires (matches interpreter)
+    }
+    phase_ops[(ops[i].level - 1) % phases].push_back(i);
+  }
+  for (auto& list : phase_ops) {
+    std::stable_sort(list.begin(), list.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return ops[a].level > ops[b].level;
+    });
+  }
+  // A custom schedule may contain non-advancing edges; fall back to a full
+  // pre-tick snapshot in that case to keep the semantics exact.
+  const bool in_place = net.min_edge_span() >= 1;
+
+  std::vector<std::uint8_t> value(net.tick_slot_count(), 0);
+  std::vector<std::uint8_t> snapshot;
+
+  const auto read = [](const std::vector<std::uint8_t>& state, slot_ref ref) -> std::uint8_t {
+    return state[ref >> 1] ^ static_cast<std::uint8_t>(ref & 1u);
+  };
+  const auto apply = [&](const compiled_netlist::tick_op& o,
+                         const std::vector<std::uint8_t>& state) {
+    if (o.kind == compiled_netlist::tick_kind::majority) {
+      const std::uint8_t a = read(state, o.a);
+      const std::uint8_t b = read(state, o.b);
+      const std::uint8_t c = read(state, o.c);
+      value[o.target] = static_cast<std::uint8_t>((a & b) | (b & c) | (a & c));
+    } else {
+      value[o.target] = read(state, o.a);
+    }
+  };
+
+  for (std::uint64_t t = 0; t <= last_tick; ++t) {
+    // Present the input wave for this initiation slot (inputs hold their
+    // value between injections).
+    const std::uint64_t wave = t / phases;
+    if (t % phases == 0 && wave < waves.size()) {
+      for (std::size_t i = 0; i < net.num_pis(); ++i) {
+        value[net.pi_slots()[i]] = static_cast<std::uint8_t>(waves[wave][i]);
+      }
+    }
+
+    if (const std::size_t bucket = t % phases; bucket < num_buckets) {
+      const auto& fired = phase_ops[bucket];
+      if (in_place) {
+        for (const std::uint32_t i : fired) {
+          apply(ops[i], value);
+        }
+      } else {
+        snapshot = value;
+        for (const std::uint32_t i : fired) {
+          apply(ops[i], snapshot);
+        }
+      }
+    }
+
+    // Sample every output whose driver just latched its wave.
+    for (std::size_t p = 0; p < net.num_pos(); ++p) {
+      if (net.po_constant()[p]) {
+        continue;
+      }
+      const std::uint32_t lvl = net.po_levels()[p];
+      const std::uint64_t start = lvl > 0 ? lvl - 1 : 0;
+      if (t < start) {
+        continue;  // before the first wave can arrive
+      }
+      const std::uint64_t w = (t - start) / phases;
+      if (w < waves.size() && t == w * phases + start) {
+        auto& out = result.outputs[w];
+        if (out.empty()) {
+          out.assign(net.num_pos(), false);
+        }
+        out[p] = read(value, net.po_refs()[p]) != 0;
+      }
+    }
+  }
+
+  // Constant-driven outputs are the same for every wave.
+  for (std::size_t p = 0; p < net.num_pos(); ++p) {
+    if (!net.po_constant()[p]) {
+      continue;
+    }
+    const bool v = (net.po_refs()[p] & 1u) != 0;
+    for (auto& out : result.outputs) {
+      if (out.empty()) {
+        out.assign(net.num_pos(), false);
+      }
+      out[p] = v;
+    }
+  }
+
+  return result;
+}
+
+packed_wave_result run_waves_packed(const compiled_netlist& net, const wave_batch& waves,
+                                    unsigned phases) {
+  if (phases == 0) {
+    throw std::invalid_argument{"run_waves_packed: at least one clock phase required"};
+  }
+  if (waves.num_pis() != net.num_pis()) {
+    throw std::invalid_argument{
+        "run_waves_packed: each wave needs one value per primary input"};
+  }
+  if (!net.wave_coherent(phases)) {
+    throw std::invalid_argument{
+        "run_waves_packed: netlist is not wave-coherent under " + std::to_string(phases) +
+        " phases (edge spans " + std::to_string(net.min_edge_span()) + ".." +
+        std::to_string(net.max_edge_span()) +
+        " must lie in [1, phases]); balance it with insert_buffers or use the "
+        "cycle-accurate run_waves"};
+  }
+
+  packed_wave_result result;
+  result.num_pos = net.num_pos();
+  result.num_waves = waves.num_waves();
+  fill_clock_metrics(result, net, phases, waves.num_waves());
+  result.words.resize(waves.num_chunks() * net.num_pos());
+
+  std::vector<std::uint64_t> scratch;
+  for (std::size_t c = 0; c < waves.num_chunks(); ++c) {
+    net.eval_words_into(waves.chunk_words(c), result.words.data() + c * net.num_pos(),
+                        scratch);
+  }
+  return result;
+}
+
+wave_stream::wave_stream(const compiled_netlist& net, unsigned phases)
+    : net_{net}, phases_{phases}, pending_{net.num_pis()} {
+  if (phases == 0) {
+    throw std::invalid_argument{"wave_stream: at least one clock phase required"};
+  }
+  if (!net.wave_coherent(phases)) {
+    throw std::invalid_argument{
+        "wave_stream: netlist is not wave-coherent under " + std::to_string(phases) +
+        " phases; balance it with insert_buffers first"};
+  }
+}
+
+void wave_stream::push(const std::vector<bool>& wave) {
+  pending_.append(wave);  // validates the width
+  ++pushed_;
+  if (pending_.num_waves() == 64) {
+    flush_chunk();
+  }
+}
+
+void wave_stream::flush_chunk() {
+  result_.words.resize(result_.words.size() + net_.num_pos());
+  net_.eval_words_into(pending_.chunk_words(0),
+                       result_.words.data() + result_.words.size() - net_.num_pos(),
+                       scratch_);
+  completed_ += pending_.num_waves();
+  pending_ = wave_batch{net_.num_pis()};
+}
+
+packed_wave_result wave_stream::finish() {
+  if (!pending_.empty()) {
+    flush_chunk();
+  }
+  result_.num_pos = net_.num_pos();
+  result_.num_waves = completed_;
+  fill_clock_metrics(result_, net_, phases_, completed_);
+  packed_wave_result out = std::move(result_);
+  result_ = {};
+  pushed_ = 0;
+  completed_ = 0;
+  return out;
+}
+
+}  // namespace wavemig::engine

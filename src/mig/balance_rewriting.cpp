@@ -32,6 +32,7 @@ public:
   }
 
   signal build(signal x, signal y, signal z) {
+    sync();  // PIs/buffers/fan-outs are created on the network directly
     const score plain = triple_score(x, y, z);
     score best = plain;
     int best_kind = 0;  // 0 plain, 1 associativity, 2 distributivity

@@ -29,7 +29,9 @@ public:
 
   mig_network& net() { return net_; }
 
-private:
+  /// Catches up on nodes created directly on the network (PIs, buffers,
+  /// fan-out gates). Must be called before level_of sees their signals —
+  /// otherwise level_of reads past the end of the level table.
   void sync() {
     while (levels_.size() < net_.num_nodes()) {
       const auto n = static_cast<node_index>(levels_.size());
@@ -43,6 +45,7 @@ private:
     }
   }
 
+private:
   mig_network& net_;
   std::vector<std::uint32_t> levels_;
 };
@@ -56,6 +59,7 @@ struct split {
 };
 
 signal build_with_rules(leveled_builder& b, signal x, signal y, signal z, bool allow_area) {
+  b.sync();  // PIs/buffers/fan-outs are created on the network directly
   auto lvl = [&](signal s) { return b.level_of(s); };
   const std::uint32_t baseline = std::max({lvl(x), lvl(y), lvl(z)}) + 1;
 

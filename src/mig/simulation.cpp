@@ -3,53 +3,21 @@
 #include <random>
 #include <stdexcept>
 
+#include "wavemig/engine/compiled_netlist.hpp"
+
+// Thin front-ends over the compiled execution engine: every entry point
+// lowers the network once (engine::compiled_netlist) and evaluates the
+// folded majority-only program — buffers and fan-out gates cost nothing
+// here, and repeated evaluations (equivalence checking) reuse the compile.
+
 namespace wavemig {
-
-namespace {
-
-std::uint64_t read_word(const std::vector<std::uint64_t>& values, signal s) {
-  const std::uint64_t v = values[s.index()];
-  return s.is_complemented() ? ~v : v;
-}
-
-}  // namespace
 
 std::vector<std::uint64_t> simulate_words(const mig_network& net,
                                           const std::vector<std::uint64_t>& pi_words) {
   if (pi_words.size() != net.num_pis()) {
     throw std::invalid_argument{"simulate_words: one word per primary input required"};
   }
-
-  std::vector<std::uint64_t> values(net.num_nodes(), 0);
-  net.foreach_node([&](node_index n) {
-    switch (net.kind(n)) {
-      case node_kind::constant:
-        values[n] = 0;
-        break;
-      case node_kind::primary_input:
-        values[n] = pi_words[net.pi_position(n)];
-        break;
-      case node_kind::majority: {
-        const auto fis = net.fanins(n);
-        const std::uint64_t a = read_word(values, fis[0]);
-        const std::uint64_t b = read_word(values, fis[1]);
-        const std::uint64_t c = read_word(values, fis[2]);
-        values[n] = (a & b) | (b & c) | (a & c);
-        break;
-      }
-      case node_kind::buffer:
-      case node_kind::fanout:
-        values[n] = read_word(values, net.fanins(n)[0]);
-        break;
-    }
-  });
-
-  std::vector<std::uint64_t> result;
-  result.reserve(net.num_pos());
-  for (const auto& po : net.pos()) {
-    result.push_back(read_word(values, po.driver));
-  }
-  return result;
+  return engine::compiled_netlist::comb_only(net).eval_words(pi_words);
 }
 
 std::vector<truth_table> simulate_truth_tables(const mig_network& net) {
@@ -58,36 +26,15 @@ std::vector<truth_table> simulate_truth_tables(const mig_network& net) {
     throw std::invalid_argument{"simulate_truth_tables: at most 20 inputs supported"};
   }
 
-  std::vector<truth_table> values(net.num_nodes(), truth_table{num_vars});
-  net.foreach_node([&](node_index n) {
-    switch (net.kind(n)) {
-      case node_kind::constant:
-        break;  // already constant 0
-      case node_kind::primary_input:
-        values[n] = truth_table::nth_var(num_vars, static_cast<unsigned>(net.pi_position(n)));
-        break;
-      case node_kind::majority: {
-        const auto fis = net.fanins(n);
-        auto in = [&](signal s) {
-          return s.is_complemented() ? ~values[s.index()] : values[s.index()];
-        };
-        values[n] = truth_table::maj(in(fis[0]), in(fis[1]), in(fis[2]));
-        break;
-      }
-      case node_kind::buffer:
-      case node_kind::fanout: {
-        const signal s = net.fanins(n)[0];
-        values[n] = s.is_complemented() ? ~values[s.index()] : values[s.index()];
-        break;
-      }
-    }
-  });
+  const auto compiled = engine::compiled_netlist::comb_only(net);
+  std::vector<truth_table> slots;
+  compiled.eval([&](std::uint32_t i) { return truth_table::nth_var(num_vars, i); },
+                truth_table{num_vars}, slots);
 
   std::vector<truth_table> result;
   result.reserve(net.num_pos());
-  for (const auto& po : net.pos()) {
-    result.push_back(po.driver.is_complemented() ? ~values[po.driver.index()]
-                                                 : values[po.driver.index()]);
+  for (std::size_t p = 0; p < net.num_pos(); ++p) {
+    result.push_back(compiled.po_value(slots, p));
   }
   return result;
 }
@@ -117,13 +64,23 @@ bool functionally_equivalent(const mig_network& a, const mig_network& b, unsigne
     return simulate_truth_tables(a) == simulate_truth_tables(b);
   }
 
+  // Compile both networks once and reuse scratch across the random rounds.
+  const auto ca = engine::compiled_netlist::comb_only(a);
+  const auto cb = engine::compiled_netlist::comb_only(b);
+  std::vector<std::uint64_t> words(a.num_pis());
+  std::vector<std::uint64_t> out_a(a.num_pos());
+  std::vector<std::uint64_t> out_b(b.num_pos());
+  std::vector<std::uint64_t> scratch_a;
+  std::vector<std::uint64_t> scratch_b;
+
   std::mt19937_64 rng{seed};
   for (unsigned round = 0; round < rounds; ++round) {
-    std::vector<std::uint64_t> words(a.num_pis());
     for (auto& w : words) {
       w = rng();
     }
-    if (simulate_words(a, words) != simulate_words(b, words)) {
+    ca.eval_words_into(words.data(), out_a.data(), scratch_a);
+    cb.eval_words_into(words.data(), out_b.data(), scratch_b);
+    if (out_a != out_b) {
       return false;
     }
   }

@@ -1,0 +1,266 @@
+#include "wavemig/engine/wave_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/engine/compiled_netlist.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/random_mig.hpp"
+#include "wavemig/levels.hpp"
+#include "wavemig/simulation.hpp"
+#include "wavemig/wave_simulator.hpp"
+
+namespace wavemig {
+namespace {
+
+std::vector<std::vector<bool>> random_waves(std::size_t count, std::size_t pis,
+                                            std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  std::vector<std::vector<bool>> waves(count, std::vector<bool>(pis));
+  for (auto& wave : waves) {
+    for (std::size_t i = 0; i < pis; ++i) {
+      wave[i] = (rng() & 1u) != 0;
+    }
+  }
+  return waves;
+}
+
+TEST(compiled_netlist, folds_identity_components_out_of_the_comb_program) {
+  const auto net = gen::ripple_adder_circuit(8);
+  const auto balanced = insert_buffers(net).net;
+  ASSERT_GT(balanced.num_buffers(), 0u);
+
+  const engine::compiled_netlist compiled{balanced};
+  EXPECT_EQ(compiled.num_comb_ops(), balanced.num_majorities());
+  EXPECT_EQ(compiled.num_tick_ops(), balanced.num_components());
+  EXPECT_EQ(compiled.num_pis(), balanced.num_pis());
+  EXPECT_EQ(compiled.num_pos(), balanced.num_pos());
+  EXPECT_EQ(compiled.depth(), compute_levels(balanced).depth);
+}
+
+TEST(compiled_netlist, eval_words_matches_interpreter) {
+  std::mt19937_64 rng{99};
+  for (const auto& net :
+       {gen::ripple_adder_circuit(12), gen::multiplier_circuit(5), gen::parity_circuit(16)}) {
+    const engine::compiled_netlist compiled{net};
+    for (int round = 0; round < 8; ++round) {
+      std::vector<std::uint64_t> words(net.num_pis());
+      for (auto& w : words) {
+        w = rng();
+      }
+      EXPECT_EQ(compiled.eval_words(words), simulate_words(net, words));
+    }
+  }
+}
+
+TEST(compiled_netlist, coherence_metadata) {
+  const auto net = gen::ripple_adder_circuit(6);
+  const engine::compiled_netlist raw{net};
+  EXPECT_GT(raw.max_edge_span(), 1u) << "unbalanced adder must have long edges";
+  EXPECT_FALSE(raw.wave_coherent(3));
+
+  const engine::compiled_netlist balanced{insert_buffers(net).net};
+  EXPECT_EQ(balanced.min_edge_span(), 1u);
+  EXPECT_EQ(balanced.max_edge_span(), 1u);
+  EXPECT_TRUE(balanced.wave_coherent(1));
+  EXPECT_TRUE(balanced.wave_coherent(5));
+}
+
+TEST(compiled_netlist, input_width_validation) {
+  const engine::compiled_netlist compiled{gen::ripple_adder_circuit(4)};
+  EXPECT_THROW((void)compiled.eval_words({1ull, 2ull}), std::invalid_argument);
+}
+
+/// The tentpole property: packed execution is wave-for-wave identical to the
+/// cycle-accurate reference on randomly generated MIGs, across chain/tree
+/// buffer strategies and 2-5 clock phases.
+TEST(packed_waves, equals_scalar_reference_on_random_migs) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    gen::random_mig_profile profile;
+    profile.inputs = 6;
+    profile.gates = 40 + static_cast<unsigned>(seed) * 17;
+    profile.outputs = 6;
+    profile.locality = 0.3 + 0.15 * static_cast<double>(seed);
+    profile.seed = seed;
+    const auto net = gen::random_mig(profile);
+
+    for (const auto strategy : {buffer_strategy::chain, buffer_strategy::tree}) {
+      buffer_insertion_options options;
+      options.strategy = strategy;
+      const auto balanced = insert_buffers(net, options);
+
+      const auto waves = random_waves(20, balanced.net.num_pis(), seed * 31 + 7);
+      for (unsigned phases = 2; phases <= 5; ++phases) {
+        const auto scalar = run_waves(balanced.net, waves, phases, balanced.schedule);
+        const auto packed = run_waves_packed(balanced.net, waves, phases, balanced.schedule);
+        EXPECT_EQ(packed.outputs, scalar.outputs)
+            << "seed " << seed << " strategy " << static_cast<int>(strategy) << " phases "
+            << phases;
+        EXPECT_EQ(packed.ticks, scalar.ticks);
+        EXPECT_EQ(packed.latency_ticks, scalar.latency_ticks);
+        EXPECT_EQ(packed.initiation_interval, scalar.initiation_interval);
+        EXPECT_EQ(packed.waves_in_flight, scalar.waves_in_flight);
+      }
+    }
+  }
+}
+
+TEST(packed_waves, equals_scalar_reference_under_tolerance_schedules) {
+  // Tolerance-balanced netlists are coherent only under the schedule
+  // returned by buffer insertion; both engines must honor it.
+  const auto net = gen::random_mig({8, 60, 0.5, 8, 11});
+  for (const unsigned tolerance : {1u, 2u}) {
+    buffer_insertion_options options;
+    options.tolerance = tolerance;
+    const auto balanced = insert_buffers(net, options);
+    const auto waves = random_waves(16, balanced.net.num_pis(), 13);
+    for (unsigned phases = tolerance + 2; phases <= 5; ++phases) {
+      const auto scalar = run_waves(balanced.net, waves, phases, balanced.schedule);
+      const auto packed = run_waves_packed(balanced.net, waves, phases, balanced.schedule);
+      EXPECT_EQ(packed.outputs, scalar.outputs) << "tolerance " << tolerance << " phases "
+                                                << phases;
+    }
+  }
+}
+
+TEST(packed_waves, matches_combinational_reference_on_suite_circuit) {
+  const auto balanced = insert_buffers(gen::multiplier_circuit(4)).net;
+  const auto waves = random_waves(130, balanced.num_pis(), 5);  // > 2 chunks
+  const auto packed = run_waves_packed(balanced, waves, 3);
+  ASSERT_EQ(packed.outputs.size(), waves.size());
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    EXPECT_EQ(packed.outputs[w], simulate_pattern(balanced, waves[w])) << "wave " << w;
+  }
+}
+
+TEST(packed_waves, rejects_incoherent_netlists) {
+  // An unbalanced netlist exhibits wave interference that the packed engine
+  // cannot model; it must refuse instead of returning wrong answers.
+  const auto net = gen::ripple_adder_circuit(6);
+  const auto waves = random_waves(4, net.num_pis(), 3);
+  EXPECT_THROW(run_waves_packed(net, waves, 3), std::invalid_argument);
+
+  // With enough phases the same netlist becomes coherent (every edge span
+  // fits inside one initiation interval).
+  const engine::compiled_netlist compiled{net};
+  const auto run = run_waves_packed(net, waves, compiled.max_edge_span());
+  EXPECT_EQ(run.outputs, run_waves(net, waves, compiled.max_edge_span()).outputs);
+}
+
+TEST(packed_waves, validates_inputs) {
+  mig_network net;
+  net.create_pi();
+  net.create_po(constant0);
+  EXPECT_THROW(run_waves_packed(net, {{true, false}}, 3), std::invalid_argument);
+  EXPECT_THROW(run_waves_packed(net, {{true}}, 0), std::invalid_argument);
+
+  engine::wave_batch batch{2};
+  EXPECT_THROW(batch.append({true}), std::invalid_argument);
+}
+
+TEST(packed_waves, empty_batch_is_noop) {
+  const auto balanced = insert_buffers(gen::ripple_adder_circuit(4)).net;
+  const auto run = run_waves_packed(balanced, {}, 3);
+  EXPECT_TRUE(run.outputs.empty());
+  EXPECT_EQ(run.ticks, 0u);
+}
+
+TEST(wave_batch, packs_and_unpacks_waves) {
+  const auto waves = random_waves(70, 5, 77);
+  const auto batch = engine::wave_batch::from_waves(waves, 5);
+  EXPECT_EQ(batch.num_waves(), 70u);
+  EXPECT_EQ(batch.num_chunks(), 2u);
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(batch.input(w, i), waves[w][i]);
+    }
+  }
+}
+
+TEST(wave_stream, streams_chunks_incrementally) {
+  const auto balanced = insert_buffers(gen::ripple_adder_circuit(8)).net;
+  const engine::compiled_netlist compiled{balanced};
+  const auto waves = random_waves(200, balanced.num_pis(), 21);
+
+  engine::wave_stream stream{compiled, 3};
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    stream.push(waves[w]);
+    // Full chunks are evaluated as soon as they close.
+    EXPECT_EQ(stream.waves_completed(), (w + 1) / 64 * 64);
+  }
+  const auto result = stream.finish();
+  EXPECT_EQ(result.num_waves, waves.size());
+
+  const auto reference = run_waves(balanced, waves, 3);
+  EXPECT_EQ(result.unpack(), reference.outputs);
+  EXPECT_EQ(result.ticks, reference.ticks);
+
+  // The stream resets after finish and can be reused.
+  stream.push(waves[0]);
+  const auto second = stream.finish();
+  EXPECT_EQ(second.num_waves, 1u);
+  EXPECT_EQ(second.unpack()[0], reference.outputs[0]);
+}
+
+TEST(wave_stream, rejects_incoherent_netlists_and_bad_widths) {
+  const auto net = gen::ripple_adder_circuit(5);
+  const engine::compiled_netlist raw{net};
+  EXPECT_THROW((engine::wave_stream{raw, 3}), std::invalid_argument);
+
+  const auto balanced = insert_buffers(net).net;
+  const engine::compiled_netlist compiled{balanced};
+  EXPECT_THROW((engine::wave_stream{compiled, 0}), std::invalid_argument);
+  engine::wave_stream stream{compiled, 3};
+  EXPECT_THROW(stream.push({true}), std::invalid_argument);
+}
+
+TEST(engine_scalar, matches_interpreter_semantics_on_unbalanced_nets) {
+  // The engine's tick program must preserve wave interference, not paper
+  // over it: compare against the combinational reference and expect a
+  // mismatch, exactly like the interpreter-era test.
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  signal deep = net.create_maj(a, b, c);
+  for (int i = 0; i < 4; ++i) {
+    deep = net.create_maj(deep, b, !c);
+  }
+  net.create_po(net.create_maj(deep, a, b));
+
+  std::vector<std::vector<bool>> waves;
+  for (int w = 0; w < 8; ++w) {
+    waves.emplace_back(3, w % 2 == 1);
+  }
+  const auto run = run_waves(net, waves, 3);
+  std::vector<std::vector<bool>> reference;
+  for (const auto& wave : waves) {
+    reference.push_back(simulate_pattern(net, wave));
+  }
+  EXPECT_NE(run.outputs, reference);
+}
+
+TEST(engine_scalar, run_waves_validates_inputs) {
+  mig_network net;
+  net.create_pi();
+  net.create_po(constant0);
+  EXPECT_THROW(run_waves(net, {{true, false}}, 3), std::invalid_argument);
+  EXPECT_THROW(run_waves(net, {{true}}, 0), std::invalid_argument);
+  level_map bad_schedule;
+  bad_schedule.level.assign(1, 0);  // wrong size
+  EXPECT_THROW(run_waves(net, {{true}}, 3, bad_schedule), std::invalid_argument);
+}
+
+TEST(engine_scalar, simulate_pattern_validates_width) {
+  mig_network net;
+  net.create_pi();
+  net.create_pi();
+  net.create_po(constant1);
+  EXPECT_THROW(simulate_pattern(net, {true}), std::invalid_argument);
+  EXPECT_THROW(simulate_pattern(net, {true, false, true}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavemig
