@@ -9,18 +9,24 @@
 //                 lists, flat fan-in refs, in-place byte state.
 //   engine packed — run_waves_packed: 64 independent waves per 64-bit word
 //                 streamed through the folded majority-only program.
+//   engine parallel — run_waves_parallel: the packed chunks sharded across
+//                 a persistent worker pool (thread-scaling sweep at 1, 2, 4
+//                 and hardware-concurrency threads).
 //
 //   $ ./bench/perf_wave_engine [--json] [num_waves]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "wavemig/buffer_insertion.hpp"
 #include "wavemig/engine/compiled_netlist.hpp"
+#include "wavemig/engine/parallel_executor.hpp"
 #include "wavemig/engine/wave_engine.hpp"
 #include "wavemig/gen/arith.hpp"
 #include "wavemig/levels.hpp"
@@ -187,6 +193,46 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --- parallel sharded execution (thread-scaling sweep) --------------------
+  // A larger batch so every worker sees plenty of 64-wave chunks; the sweep
+  // measures steady-state serving throughput (compile + pack amortized, like
+  // the steady packed row).
+  const std::size_t sweep_waves = std::max<std::size_t>(num_waves, 8192);
+  const auto sweep_batch = [&] {
+    std::mt19937_64 sweep_rng{2103};
+    engine::wave_batch b{net.num_pis()};
+    std::vector<bool> wave(net.num_pis());
+    for (std::size_t w = 0; w < sweep_waves; ++w) {
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        wave[i] = (sweep_rng() & 1u) != 0;
+      }
+      b.append(wave);
+    }
+    return b;
+  }();
+  const auto sweep_reference = engine::run_waves_packed(compiled, sweep_batch, phases);
+
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts{1, 2, 4};
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw_threads) ==
+      thread_counts.end()) {
+    thread_counts.push_back(hw_threads);
+  }
+  std::vector<double> parallel_wps(thread_counts.size(), 0.0);
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    engine::parallel_executor executor{thread_counts[i]};
+    // Warm-up run: spin up workers' scratch before timing.
+    (void)engine::run_waves_parallel(compiled, sweep_batch, phases, executor);
+    start = std::chrono::steady_clock::now();
+    const auto run = engine::run_waves_parallel(compiled, sweep_batch, phases, executor);
+    parallel_wps[i] = static_cast<double>(sweep_waves) / seconds_since(start);
+    if (run.words != sweep_reference.words) {
+      std::fprintf(stderr, "FATAL: parallel path diverges at %u threads\n",
+                   thread_counts[i]);
+      return 2;
+    }
+  }
+
   const double seed_wps = static_cast<double>(num_waves) / seed_s;
   const double scalar_wps = static_cast<double>(num_waves) / scalar_s;
   const double packed_wps = static_cast<double>(num_waves) / packed_s;
@@ -203,6 +249,16 @@ int main(int argc, char** argv) {
     bench::json_record("perf_wave_engine", "engine_scalar_speedup", scalar_speedup);
     bench::json_record("perf_wave_engine", "engine_packed_speedup", packed_speedup);
     bench::json_record("perf_wave_engine", "engine_packed_steady_speedup", steady_speedup);
+    bench::json_record("perf_wave_engine", "hardware_concurrency",
+                       static_cast<double>(hw_threads));
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      bench::json_record("perf_wave_engine",
+                         "engine_parallel_waves_per_s_t" + std::to_string(thread_counts[i]),
+                         parallel_wps[i]);
+      bench::json_record("perf_wave_engine",
+                         "engine_parallel_scaling_t" + std::to_string(thread_counts[i]),
+                         parallel_wps[i] / parallel_wps[0]);
+    }
   } else {
     std::printf("%-22s %14s %14s %10s\n", "path", "time [s]", "waves/s", "speedup");
     bench::print_rule('-', 64);
@@ -215,6 +271,17 @@ int main(int argc, char** argv) {
     std::printf("%-22s %14s %14s %9sx\n", "engine packed (steady)",
                 bench::fmt(steady_s, 4).c_str(), bench::fmt(steady_wps).c_str(),
                 bench::fmt(steady_speedup).c_str());
+
+    std::printf("\nparallel thread-scaling sweep — %zu waves (%zu chunks), %u hardware "
+                "thread(s)\n",
+                sweep_waves, (sweep_waves + 63) / 64, hw_threads);
+    std::printf("%-22s %14s %10s\n", "threads", "waves/s", "scaling");
+    bench::print_rule('-', 48);
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      std::printf("%-22u %14s %9sx\n", thread_counts[i], bench::fmt(parallel_wps[i]).c_str(),
+                  bench::fmt(parallel_wps[i] / parallel_wps[0]).c_str());
+    }
+
     std::printf("\nacceptance: packed >= 10x over seed scalar: %s (%sx)\n",
                 packed_speedup >= 10.0 ? "PASS" : "FAIL",
                 bench::fmt(packed_speedup).c_str());

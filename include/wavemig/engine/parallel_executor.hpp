@@ -1,0 +1,203 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/engine/compiled_netlist.hpp"
+#include "wavemig/engine/wave_engine.hpp"
+
+namespace wavemig::engine {
+
+/// Persistent worker pool for sharded packed execution. Workers are spawned
+/// once and reused across runs, and each worker owns a scratch buffer that
+/// the chunk kernel reuses, so the steady-state hot path performs no
+/// allocation and no thread creation.
+///
+/// The pool is a plain task runner: `for_each` shards an index space across
+/// the workers (this is what `run_waves_parallel` uses, one task per
+/// 64-wave chunk), `submit` enqueues a single asynchronous task (what
+/// `parallel_wave_stream` uses as chunks fill). Both are safe to call from
+/// multiple threads concurrently — independent `for_each` calls and streams
+/// can interleave on one executor.
+///
+/// Precondition: never call `for_each` (or anything that blocks on the pool,
+/// e.g. `run_waves_parallel`, `batch_session::run`, or a stream's `finish`)
+/// from inside a task running on the same executor — the blocked worker is
+/// the one that would have to run the nested shards, which deadlocks.
+class parallel_executor {
+public:
+  /// `num_threads == 0` resolves to the hardware concurrency (at least 1).
+  explicit parallel_executor(unsigned num_threads = 0);
+  ~parallel_executor();
+
+  parallel_executor(const parallel_executor&) = delete;
+  parallel_executor& operator=(const parallel_executor&) = delete;
+
+  [[nodiscard]] unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs `fn(task, worker)` for every task in [0, num_tasks). Tasks are
+  /// pulled dynamically by the workers (load-balanced, no fixed striping);
+  /// `worker` is the stable index of the executing worker in
+  /// [0, num_threads()). Blocks until every task finished; the first
+  /// exception thrown by `fn` is rethrown here after the remaining tasks
+  /// have been cancelled.
+  void for_each(std::size_t num_tasks, const std::function<void(std::size_t, unsigned)>& fn);
+
+  /// Enqueues one asynchronous task; returns immediately. The task must not
+  /// throw — route errors through state the submitter owns (see
+  /// parallel_wave_stream). Completion is the submitter's business to track.
+  void submit(std::function<void(unsigned)> task);
+
+  /// Reusable per-worker scratch for the packed chunk kernel. Only the
+  /// worker with index `worker` may touch it while tasks are running.
+  [[nodiscard]] std::vector<std::uint64_t>& scratch(unsigned worker) {
+    return scratch_[worker];
+  }
+
+private:
+  void worker_loop(unsigned worker);
+
+  std::vector<std::vector<std::uint64_t>> scratch_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void(unsigned)>> queue_;
+  bool stop_{false};
+  std::vector<std::thread> workers_;  // last member: joins before the rest dies
+};
+
+/// Sharded packed execution: identical contract and bit-identical result
+/// words to `run_waves_packed`, with the batch's 64-wave chunks distributed
+/// across the executor's workers. Chunks are independent (wave coherence
+/// makes every chunk a pure function of its inputs), and each chunk writes
+/// a disjoint slice of the chunk-major result, so assembly is deterministic
+/// regardless of completion order.
+packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_batch& waves,
+                                      unsigned phases, parallel_executor& executor);
+
+/// Streaming front-end over the sharded engine: like `wave_stream`, but a
+/// chunk is dispatched to the pool the moment it fills, so evaluation
+/// overlaps with wave arrival and with other streams sharing the executor.
+/// Results are assembled chunk-major in push order — bit-identical to the
+/// single-threaded packed path.
+///
+/// push/finish must be called from one thread (the stream owner); the
+/// executor may be shared with any number of other streams and sessions.
+class parallel_wave_stream {
+public:
+  /// The compiled netlist and the executor must outlive the stream. Throws
+  /// std::invalid_argument when the netlist is not wave-coherent under
+  /// `phases` or `phases == 0`.
+  parallel_wave_stream(const compiled_netlist& net, unsigned phases,
+                       parallel_executor& executor);
+  ~parallel_wave_stream();
+
+  parallel_wave_stream(const parallel_wave_stream&) = delete;
+  parallel_wave_stream& operator=(const parallel_wave_stream&) = delete;
+
+  /// Enqueues one wave; dispatches a chunk to the workers once 64 are
+  /// pending.
+  void push(const std::vector<bool>& wave);
+
+  [[nodiscard]] std::size_t waves_pushed() const { return pushed_; }
+  /// Waves whose chunk a worker has already evaluated. Trails
+  /// `waves_pushed()` while chunks are in flight.
+  [[nodiscard]] std::size_t waves_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Dispatches any pending partial chunk, waits for all in-flight chunks,
+  /// and returns the accumulated result for every pushed wave. The stream
+  /// is reusable afterwards (resets).
+  packed_wave_result finish();
+
+private:
+  struct chunk_job {
+    wave_batch inputs;
+    std::vector<std::uint64_t> out;
+    chunk_job(wave_batch batch, std::size_t num_pos)
+        : inputs{std::move(batch)}, out(num_pos) {}
+  };
+
+  void dispatch_chunk();
+  void wait_in_flight();
+
+  const compiled_netlist& net_;
+  unsigned phases_;
+  parallel_executor& executor_;
+  wave_batch pending_;
+  std::deque<chunk_job> jobs_;  // deque: stable addresses for in-flight jobs
+  std::size_t pushed_{0};
+  std::atomic<std::size_t> completed_{0};
+  mutable std::mutex mutex_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_{0};
+};
+
+/// Order-sensitive structural fingerprint of a network: FNV-1a over node
+/// kinds, fan-in references, PI positions, and output drivers. Networks
+/// that compile to different programs fingerprint differently (modulo
+/// 64-bit collisions); names are deliberately excluded — they do not affect
+/// execution.
+[[nodiscard]] std::uint64_t network_fingerprint(const mig_network& net);
+
+/// Serving-style compiled-netlist cache: the first batch against a network
+/// balances it (`insert_buffers` with the session options) and lowers it
+/// once; every later batch against a structurally identical network reuses
+/// the cached program. Keyed by (network fingerprint, buffer strategy,
+/// phases), so one session can interleave requests against many circuits
+/// without re-lowering any of them.
+///
+/// Thread-safe: concurrent `run` calls may share the session and its
+/// executor. Two threads missing on the same key may both compile; one
+/// result wins the cache, both runs are correct.
+///
+/// The lowered program itself does not depend on `phases` (coherence is
+/// checked at run time), so a circuit served at several phase counts keeps
+/// one entry per count — a little redundant memory in exchange for a key
+/// that stays valid if lowering ever becomes phase-specialized.
+class batch_session {
+public:
+  explicit batch_session(parallel_executor& executor,
+                         buffer_insertion_options options = {});
+
+  /// Balances + compiles `net` on first sight (cache miss), then evaluates
+  /// the batch on the executor. The returned words are bit-identical to
+  /// `run_waves_packed` on the balanced network.
+  packed_wave_result run(const mig_network& net, const wave_batch& waves, unsigned phases);
+
+  [[nodiscard]] std::size_t cached_netlists() const;
+  [[nodiscard]] std::uint64_t cache_hits() const;
+  [[nodiscard]] std::uint64_t cache_misses() const;
+
+private:
+  struct cache_key {
+    std::uint64_t fingerprint;
+    buffer_strategy strategy;
+    unsigned phases;
+    friend bool operator==(const cache_key&, const cache_key&) = default;
+  };
+  struct cache_key_hash {
+    std::size_t operator()(const cache_key& k) const noexcept;
+  };
+
+  parallel_executor& executor_;
+  buffer_insertion_options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<cache_key, std::shared_ptr<const compiled_netlist>, cache_key_hash>
+      cache_;
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+};
+
+}  // namespace wavemig::engine

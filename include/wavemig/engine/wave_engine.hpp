@@ -73,6 +73,35 @@ struct packed_wave_result {
 wave_run_result run_waves(const compiled_netlist& net,
                           const std::vector<std::vector<bool>>& waves, unsigned phases);
 
+/// @name Packed chunk kernel
+///
+/// The building blocks every packed front-end (`run_waves_packed`,
+/// `wave_stream`, and the sharded executors in parallel_executor.hpp) is
+/// assembled from: validation, clock metadata, and single-chunk evaluation.
+/// Routing all paths through the same kernel is what keeps single-threaded
+/// and multi-threaded results bit-identical.
+/// @{
+
+/// Throws std::invalid_argument unless `phases >= 1`, `batch_pis` matches
+/// the netlist, and the netlist is wave-coherent under `phases`. `who` is
+/// the prefix of the diagnostic messages.
+void validate_packed_run(const compiled_netlist& net, std::size_t batch_pis, unsigned phases,
+                         const char* who);
+
+/// Fills ticks / latency / initiation interval / waves in flight exactly as
+/// the cycle-accurate simulator reports them for the same run.
+void fill_packed_clock_metrics(packed_wave_result& result, const compiled_netlist& net,
+                               unsigned phases, std::size_t num_waves);
+
+/// Evaluates one 64-wave chunk: `chunk_words` holds the batch's `num_pis`
+/// packed input words, `out_words` receives `num_pos` packed output words.
+/// `scratch` is reused across calls — after the first call for a given
+/// netlist the kernel performs no allocation.
+void eval_packed_chunk(const compiled_netlist& net, const std::uint64_t* chunk_words,
+                       std::uint64_t* out_words, std::vector<std::uint64_t>& scratch);
+
+/// @}
+
 /// Packed wave-pipelined execution: 64 independent waves per 64-bit word
 /// per step. Requires `net.wave_coherent(phases)` — on a coherent netlist
 /// every wave's sampled outputs equal the combinational evaluation of that

@@ -29,13 +29,22 @@ wave_readiness check_wave_readiness(const mig_network& net, const level_map& sch
       if (net.is_constant(f.index())) {
         continue;
       }
-      const std::uint32_t span = schedule.level[n] - schedule.level[f.index()];
-      if (schedule.level[n] <= schedule.level[f.index()] || span > tolerance + 1) {
+      const std::uint32_t producer = schedule.level[f.index()];
+      const std::uint32_t consumer = schedule.level[n];
+      // The span is only meaningful on forward edges; a backward or
+      // level-equal edge is reported as such instead of as a wrapped-around
+      // unsigned difference.
+      if (consumer <= producer) {
         ++result.violating_edges;
         report(result, "edge " + std::to_string(f.index()) + " (level " +
-                           std::to_string(schedule.level[f.index()]) + ") -> " +
-                           std::to_string(n) + " (level " + std::to_string(schedule.level[n]) +
-                           ") spans " + std::to_string(span) + " levels");
+                           std::to_string(producer) + ") -> " + std::to_string(n) +
+                           " (level " + std::to_string(consumer) + ") does not advance");
+      } else if (consumer - producer > tolerance + 1) {
+        ++result.violating_edges;
+        report(result, "edge " + std::to_string(f.index()) + " (level " +
+                           std::to_string(producer) + ") -> " + std::to_string(n) +
+                           " (level " + std::to_string(consumer) + ") spans " +
+                           std::to_string(consumer - producer) + " levels");
       }
     }
   });

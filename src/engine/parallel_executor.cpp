@@ -1,0 +1,272 @@
+#include "wavemig/engine/parallel_executor.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace wavemig::engine {
+
+// ------------------------------------------------------------ executor ---
+
+parallel_executor::parallel_executor(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  scratch_.resize(num_threads);
+  workers_.reserve(num_threads);
+  for (unsigned w = 0; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+parallel_executor::~parallel_executor() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void parallel_executor::worker_loop(unsigned worker) {
+  for (;;) {
+    std::function<void(unsigned)> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop requested and nothing left to drain
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(worker);
+  }
+}
+
+void parallel_executor::submit(std::function<void(unsigned)> task) {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void parallel_executor::for_each(std::size_t num_tasks,
+                                 const std::function<void(std::size_t, unsigned)>& fn) {
+  if (num_tasks == 0) {
+    return;
+  }
+
+  // Per-call completion state: independent for_each calls (possibly from
+  // different threads) never wait on each other's tasks.
+  struct call_state {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t live_workers{0};
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<call_state>();
+  const auto fan =
+      static_cast<unsigned>(std::min<std::size_t>(num_threads(), num_tasks));
+  state->live_workers = fan;
+
+  // `fn` is captured by reference: this call blocks until every shard task
+  // returned, so the reference outlives the tasks.
+  for (unsigned i = 0; i < fan; ++i) {
+    submit([state, &fn, num_tasks](unsigned worker) {
+      try {
+        for (std::size_t t = state->next.fetch_add(1); t < num_tasks;
+             t = state->next.fetch_add(1)) {
+          fn(t, worker);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock{state->mutex};
+        if (!state->error) {
+          state->error = std::current_exception();
+        }
+        state->next.store(num_tasks);  // cancel the remaining tasks
+      }
+      std::lock_guard<std::mutex> lock{state->mutex};
+      if (--state->live_workers == 0) {
+        state->done.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock{state->mutex};
+  state->done.wait(lock, [&] { return state->live_workers == 0; });
+  if (state->error) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+// ------------------------------------------------------- parallel run ---
+
+packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_batch& waves,
+                                      unsigned phases, parallel_executor& executor) {
+  validate_packed_run(net, waves.num_pis(), phases, "run_waves_parallel");
+
+  packed_wave_result result;
+  result.num_pos = net.num_pos();
+  result.num_waves = waves.num_waves();
+  fill_packed_clock_metrics(result, net, phases, waves.num_waves());
+  result.words.resize(waves.num_chunks() * net.num_pos());
+
+  // One task per 64-wave chunk; every chunk writes a disjoint slice of the
+  // chunk-major result, so the assembly is deterministic by construction.
+  executor.for_each(waves.num_chunks(), [&](std::size_t c, unsigned worker) {
+    eval_packed_chunk(net, waves.chunk_words(c), result.words.data() + c * net.num_pos(),
+                      executor.scratch(worker));
+  });
+  return result;
+}
+
+// ------------------------------------------------------------- stream ---
+
+parallel_wave_stream::parallel_wave_stream(const compiled_netlist& net, unsigned phases,
+                                           parallel_executor& executor)
+    : net_{net}, phases_{phases}, executor_{executor}, pending_{net.num_pis()} {
+  validate_packed_run(net, net.num_pis(), phases, "parallel_wave_stream");
+}
+
+parallel_wave_stream::~parallel_wave_stream() {
+  // In-flight chunk tasks reference this stream's jobs; never die under them.
+  wait_in_flight();
+}
+
+void parallel_wave_stream::push(const std::vector<bool>& wave) {
+  pending_.append(wave);  // validates the width
+  ++pushed_;
+  if (pending_.num_waves() == 64) {
+    dispatch_chunk();
+  }
+}
+
+void parallel_wave_stream::dispatch_chunk() {
+  jobs_.emplace_back(std::move(pending_), net_.num_pos());
+  pending_ = wave_batch{net_.num_pis()};
+  chunk_job* job = &jobs_.back();  // deque: stable across later push_backs
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    ++in_flight_;
+  }
+  executor_.submit([this, job](unsigned worker) {
+    eval_packed_chunk(net_, job->inputs.chunk_words(0), job->out.data(),
+                      executor_.scratch(worker));
+    completed_.fetch_add(job->inputs.num_waves(), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (--in_flight_ == 0) {
+      all_done_.notify_all();
+    }
+  });
+}
+
+void parallel_wave_stream::wait_in_flight() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+packed_wave_result parallel_wave_stream::finish() {
+  if (!pending_.empty()) {
+    dispatch_chunk();
+  }
+  wait_in_flight();
+
+  packed_wave_result result;
+  result.num_pos = net_.num_pos();
+  result.num_waves = pushed_;
+  fill_packed_clock_metrics(result, net_, phases_, pushed_);
+  result.words.reserve(jobs_.size() * net_.num_pos());
+  for (const auto& job : jobs_) {
+    result.words.insert(result.words.end(), job.out.begin(), job.out.end());
+  }
+
+  jobs_.clear();
+  pushed_ = 0;
+  completed_.store(0, std::memory_order_relaxed);
+  return result;
+}
+
+// ------------------------------------------------------------ session ---
+
+std::uint64_t network_fingerprint(const mig_network& net) {
+  constexpr std::uint64_t offset = 1469598103934665603ull;
+  constexpr std::uint64_t prime = 1099511628211ull;
+  std::uint64_t h = offset;
+  const auto mix = [&](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h = (h ^ ((v >> (8 * byte)) & 0xffu)) * prime;
+    }
+  };
+  mix(net.num_pis());
+  net.foreach_node([&](node_index n) {
+    mix(static_cast<std::uint64_t>(net.kind(n)));
+    if (net.is_pi(n)) {
+      mix(net.pi_position(n));
+    }
+    for (const signal f : net.fanins(n)) {
+      mix((static_cast<std::uint64_t>(f.index()) << 1) |
+          static_cast<std::uint64_t>(f.is_complemented()));
+    }
+  });
+  for (const auto& po : net.pos()) {
+    mix((static_cast<std::uint64_t>(po.driver.index()) << 1) |
+        static_cast<std::uint64_t>(po.driver.is_complemented()));
+  }
+  return h;
+}
+
+std::size_t batch_session::cache_key_hash::operator()(const cache_key& k) const noexcept {
+  std::uint64_t h = k.fingerprint;
+  h ^= (static_cast<std::uint64_t>(k.strategy) + 1) * 0x9e3779b97f4a7c15ull;
+  h ^= (static_cast<std::uint64_t>(k.phases) + 1) * 0xbf58476d1ce4e5b9ull;
+  return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+batch_session::batch_session(parallel_executor& executor, buffer_insertion_options options)
+    : executor_{executor}, options_{options} {}
+
+packed_wave_result batch_session::run(const mig_network& net, const wave_batch& waves,
+                                      unsigned phases) {
+  const cache_key key{network_fingerprint(net), options_.strategy, phases};
+
+  std::shared_ptr<const compiled_netlist> compiled;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++hits_;
+      compiled = it->second;
+    }
+  }
+  if (!compiled) {
+    // Balance + lower outside the lock; a concurrent miss on the same key
+    // compiles the identical program and the first insert wins.
+    const auto balanced = insert_buffers(net, options_);
+    auto fresh = std::make_shared<const compiled_netlist>(balanced.net, balanced.schedule);
+    std::lock_guard<std::mutex> lock{mutex_};
+    ++misses_;
+    compiled = cache_.try_emplace(key, std::move(fresh)).first->second;
+  }
+
+  return run_waves_parallel(*compiled, waves, phases, executor_);
+}
+
+std::size_t batch_session::cached_netlists() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return cache_.size();
+}
+
+std::uint64_t batch_session::cache_hits() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return hits_;
+}
+
+std::uint64_t batch_session::cache_misses() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return misses_;
+}
+
+}  // namespace wavemig::engine

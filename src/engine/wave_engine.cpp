@@ -10,13 +10,15 @@ namespace {
 
 /// Clocking metadata shared by the cycle-accurate and packed paths; the
 /// formulas mirror the sampling schedule of the tick simulator exactly.
+/// Even a depth-0 (PI-to-PO) network carries one wave at a time, matching
+/// the latency_ticks fallback below.
 template <typename Result>
 void fill_clock_metrics(Result& result, const compiled_netlist& net, unsigned phases,
                         std::size_t num_waves) {
   const std::uint32_t depth = net.depth();
   result.initiation_interval = phases;
   result.latency_ticks = depth > 0 ? depth : 1;
-  result.waves_in_flight = (depth + phases - 1) / phases;
+  result.waves_in_flight = std::max<std::uint32_t>(1, (depth + phases - 1) / phases);
   if (num_waves == 0) {
     result.ticks = 0;
     return;
@@ -34,6 +36,35 @@ void fill_clock_metrics(Result& result, const compiled_netlist& net, unsigned ph
 }
 
 }  // namespace
+
+void validate_packed_run(const compiled_netlist& net, std::size_t batch_pis, unsigned phases,
+                         const char* who) {
+  if (phases == 0) {
+    throw std::invalid_argument{std::string{who} + ": at least one clock phase required"};
+  }
+  if (batch_pis != net.num_pis()) {
+    throw std::invalid_argument{std::string{who} +
+                                ": each wave needs one value per primary input"};
+  }
+  if (!net.wave_coherent(phases)) {
+    throw std::invalid_argument{
+        std::string{who} + ": netlist is not wave-coherent under " + std::to_string(phases) +
+        " phases (edge spans " + std::to_string(net.min_edge_span()) + ".." +
+        std::to_string(net.max_edge_span()) +
+        " must lie in [1, phases]); balance it with insert_buffers or use the "
+        "cycle-accurate run_waves"};
+  }
+}
+
+void fill_packed_clock_metrics(packed_wave_result& result, const compiled_netlist& net,
+                               unsigned phases, std::size_t num_waves) {
+  fill_clock_metrics(result, net, phases, num_waves);
+}
+
+void eval_packed_chunk(const compiled_netlist& net, const std::uint64_t* chunk_words,
+                       std::uint64_t* out_words, std::vector<std::uint64_t>& scratch) {
+  net.eval_words_into(chunk_words, out_words, scratch);
+}
 
 void wave_batch::append(const std::vector<bool>& wave) {
   if (wave.size() != num_pis_) {
@@ -198,21 +229,7 @@ wave_run_result run_waves(const compiled_netlist& net,
 
 packed_wave_result run_waves_packed(const compiled_netlist& net, const wave_batch& waves,
                                     unsigned phases) {
-  if (phases == 0) {
-    throw std::invalid_argument{"run_waves_packed: at least one clock phase required"};
-  }
-  if (waves.num_pis() != net.num_pis()) {
-    throw std::invalid_argument{
-        "run_waves_packed: each wave needs one value per primary input"};
-  }
-  if (!net.wave_coherent(phases)) {
-    throw std::invalid_argument{
-        "run_waves_packed: netlist is not wave-coherent under " + std::to_string(phases) +
-        " phases (edge spans " + std::to_string(net.min_edge_span()) + ".." +
-        std::to_string(net.max_edge_span()) +
-        " must lie in [1, phases]); balance it with insert_buffers or use the "
-        "cycle-accurate run_waves"};
-  }
+  validate_packed_run(net, waves.num_pis(), phases, "run_waves_packed");
 
   packed_wave_result result;
   result.num_pos = net.num_pos();
@@ -222,22 +239,15 @@ packed_wave_result run_waves_packed(const compiled_netlist& net, const wave_batc
 
   std::vector<std::uint64_t> scratch;
   for (std::size_t c = 0; c < waves.num_chunks(); ++c) {
-    net.eval_words_into(waves.chunk_words(c), result.words.data() + c * net.num_pos(),
-                        scratch);
+    eval_packed_chunk(net, waves.chunk_words(c), result.words.data() + c * net.num_pos(),
+                      scratch);
   }
   return result;
 }
 
 wave_stream::wave_stream(const compiled_netlist& net, unsigned phases)
     : net_{net}, phases_{phases}, pending_{net.num_pis()} {
-  if (phases == 0) {
-    throw std::invalid_argument{"wave_stream: at least one clock phase required"};
-  }
-  if (!net.wave_coherent(phases)) {
-    throw std::invalid_argument{
-        "wave_stream: netlist is not wave-coherent under " + std::to_string(phases) +
-        " phases; balance it with insert_buffers first"};
-  }
+  validate_packed_run(net, net.num_pis(), phases, "wave_stream");
 }
 
 void wave_stream::push(const std::vector<bool>& wave) {
@@ -250,9 +260,8 @@ void wave_stream::push(const std::vector<bool>& wave) {
 
 void wave_stream::flush_chunk() {
   result_.words.resize(result_.words.size() + net_.num_pos());
-  net_.eval_words_into(pending_.chunk_words(0),
-                       result_.words.data() + result_.words.size() - net_.num_pos(),
-                       scratch_);
+  eval_packed_chunk(net_, pending_.chunk_words(0),
+                    result_.words.data() + result_.words.size() - net_.num_pos(), scratch_);
   completed_ += pending_.num_waves();
   pending_ = wave_batch{net_.num_pis()};
 }

@@ -83,6 +83,16 @@ mig_network read_blif(std::istream& is) {
     if (!line.empty() && line.back() == '\r') {
       line.pop_back();
     }
+    // A '#' comment runs to the end of the physical line, so a backslash
+    // inside a comment is part of the comment, not a continuation: strip
+    // before the continuation check, and drop the whitespace the strip can
+    // leave so "\ # comment" still continues like "\" does.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
     if (!line.empty() && line.back() == '\\') {
       pending += line.substr(0, line.size() - 1) + " ";
       continue;
@@ -90,10 +100,6 @@ mig_network read_blif(std::istream& is) {
     line = pending + line;
     pending.clear();
 
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) {
-      line = line.substr(0, hash);
-    }
     const auto toks = tokens_of(line);
     if (toks.empty()) {
       continue;
@@ -140,6 +146,11 @@ mig_network read_blif(std::istream& is) {
         current->cubes.emplace_back(toks[0], toks[1][0]);
       }
     }
+  }
+  if (!pending.empty()) {
+    // The accumulated text never reached the parser; dropping it silently
+    // would quietly alter the circuit.
+    throw parse_error{line_no, "file ends inside a '\\' line continuation"};
   }
 
   // Resolve .names blocks; BLIF allows any order, so iterate until all
@@ -201,35 +212,114 @@ mig_network read_blif_file(const std::string& path) {
 
 namespace {
 
-std::string blif_name(const mig_network& net, node_index n) {
-  if (net.is_pi(n)) {
-    return net.pi_name(net.pi_position(n));
+/// Emitted-name table. User-visible PI/PO names are sanitized (whitespace,
+/// '#' and '\' would change the token structure of the file) and claimed
+/// first; generated names — internal nodes ("n<i>"), shared inverters
+/// ("<name>_b"), constant drivers ("const0"/"const1") — are then uniquified
+/// against them, so a PI literally named "n7" no longer merges with node 7
+/// on re-read.
+class blif_name_table {
+public:
+  explicit blif_name_table(const mig_network& net) : net_{net} {
+    pi_names_.reserve(net.num_pis());
+    for (std::size_t i = 0; i < net.num_pis(); ++i) {
+      pi_names_.push_back(claim(sanitize(net.pi_name(i))));
+    }
+    po_names_.reserve(net.num_pos());
+    for (const auto& po : net.pos()) {
+      po_names_.push_back(claim(sanitize(po.name)));
+    }
   }
-  return "n" + std::to_string(n);
-}
+
+  [[nodiscard]] const std::string& pi(std::size_t position) const {
+    return pi_names_[position];
+  }
+  [[nodiscard]] const std::string& po(std::size_t position) const {
+    return po_names_[position];
+  }
+
+  [[nodiscard]] const std::string& node(node_index n) {
+    auto [it, inserted] = node_names_.try_emplace(n);
+    if (inserted) {
+      it->second = net_.is_pi(n) ? pi_names_[net_.pi_position(n)]
+                                 : claim("n" + std::to_string(n));
+    }
+    return it->second;
+  }
+
+  /// Name of the shared inverter fed by node `n`.
+  [[nodiscard]] const std::string& inverted(node_index n) {
+    auto [it, inserted] = inverted_names_.try_emplace(n);
+    if (inserted) {
+      it->second = claim(node(n) + "_b");
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] const std::string& constant(bool one) {
+    std::string& name = constant_names_[one ? 1 : 0];
+    if (name.empty()) {
+      name = claim(one ? "const1" : "const0");
+    }
+    return name;
+  }
+
+private:
+  static std::string sanitize(const std::string& name) {
+    std::string out = name.empty() ? "_" : name;
+    for (char& ch : out) {
+      if (ch == ' ' || ch == '\t' || ch == '#' || ch == '\\' || ch == '\r' || ch == '\n') {
+        ch = '_';
+      }
+    }
+    return out;
+  }
+
+  /// Registers `base`, appending "_<k>" until it is unique.
+  std::string claim(std::string base) {
+    if (used_.insert(base).second) {
+      return base;
+    }
+    for (unsigned k = 1;; ++k) {
+      std::string candidate = base + "_" + std::to_string(k);
+      if (used_.insert(candidate).second) {
+        return candidate;
+      }
+    }
+  }
+
+  const mig_network& net_;
+  std::unordered_set<std::string> used_;
+  std::vector<std::string> pi_names_;
+  std::vector<std::string> po_names_;
+  std::unordered_map<node_index, std::string> node_names_;
+  std::unordered_map<node_index, std::string> inverted_names_;
+  std::string constant_names_[2];
+};
 
 }  // namespace
 
 void write_blif(const mig_network& net, std::ostream& os, const std::string& model_name) {
+  blif_name_table names{net};
+
   os << ".model " << model_name << "\n.inputs";
   for (std::size_t i = 0; i < net.num_pis(); ++i) {
-    os << ' ' << net.pi_name(i);
+    os << ' ' << names.pi(i);
   }
   os << "\n.outputs";
-  for (const auto& po : net.pos()) {
-    os << ' ' << po.name;
+  for (std::size_t p = 0; p < net.num_pos(); ++p) {
+    os << ' ' << names.po(p);
   }
   os << '\n';
 
   // Shared inverters: one per driver that feeds any complemented edge.
   std::unordered_set<node_index> inverted;
-  auto inverted_name = [&](node_index n) { return blif_name(net, n) + "_b"; };
   auto operand = [&](signal s) -> std::string {
     if (s.is_complemented()) {
       inverted.insert(s.index());
-      return inverted_name(s.index());
+      return names.inverted(s.index());
     }
-    return blif_name(net, s.index());
+    return names.node(s.index());
   };
 
   // Constant drivers used anywhere need .names blocks.
@@ -240,10 +330,10 @@ void write_blif(const mig_network& net, std::ostream& os, const std::string& mod
     if (net.is_constant(s.index())) {
       if (s.is_complemented()) {
         use_const1 = true;
-        return "const1";
+      } else {
+        use_const0 = true;
       }
-      use_const0 = true;
-      return "const0";
+      return names.constant(s.is_complemented());
     }
     return operand(s);
   };
@@ -255,13 +345,13 @@ void write_blif(const mig_network& net, std::ostream& os, const std::string& mod
         const std::string a = emit_operand(fis[0]);
         const std::string b = emit_operand(fis[1]);
         const std::string c = emit_operand(fis[2]);
-        body << ".names " << a << ' ' << b << ' ' << c << ' ' << blif_name(net, n) << '\n'
+        body << ".names " << a << ' ' << b << ' ' << c << ' ' << names.node(n) << '\n'
              << "11- 1\n1-1 1\n-11 1\n";
         break;
       }
       case node_kind::buffer:
       case node_kind::fanout:
-        body << ".names " << emit_operand(net.fanins(n)[0]) << ' ' << blif_name(net, n) << '\n'
+        body << ".names " << emit_operand(net.fanins(n)[0]) << ' ' << names.node(n) << '\n'
              << "1 1\n";
         break;
       default:
@@ -270,18 +360,18 @@ void write_blif(const mig_network& net, std::ostream& os, const std::string& mod
   });
 
   std::ostringstream po_body;
-  for (const auto& po : net.pos()) {
-    po_body << ".names " << emit_operand(po.driver) << ' ' << po.name << "\n1 1\n";
+  for (std::size_t p = 0; p < net.num_pos(); ++p) {
+    po_body << ".names " << emit_operand(net.po_signal(p)) << ' ' << names.po(p) << "\n1 1\n";
   }
 
   if (use_const0) {
-    os << ".names const0\n";  // empty cover = constant 0
+    os << ".names " << names.constant(false) << "\n";  // empty cover = constant 0
   }
   if (use_const1) {
-    os << ".names const1\n1\n";
+    os << ".names " << names.constant(true) << "\n1\n";
   }
   for (const node_index n : inverted) {
-    os << ".names " << blif_name(net, n) << ' ' << inverted_name(n) << "\n0 1\n";
+    os << ".names " << names.node(n) << ' ' << names.inverted(n) << "\n0 1\n";
   }
   os << body.str() << po_body.str() << ".end\n";
 }

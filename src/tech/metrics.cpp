@@ -1,5 +1,7 @@
 #include "wavemig/metrics.hpp"
 
+#include <algorithm>
+
 #include "wavemig/inverter_optimization.hpp"
 #include "wavemig/levels.hpp"
 
@@ -42,7 +44,9 @@ circuit_metrics compute_metrics(const mig_network& net, const technology& tech,
 
   if (wave_pipelined) {
     m.throughput_mops = 1e3 / (static_cast<double>(phases) * tech.phase_delay_ns);
-    m.waves_in_flight = (m.depth + phases - 1) / phases;
+    // A depth-0 (PI-to-PO) network still carries one wave at a time —
+    // consistent with the latency_ns degenerate-case fallback above.
+    m.waves_in_flight = std::max(1u, (m.depth + phases - 1) / phases);
   } else {
     m.throughput_mops = 1e3 / m.latency_ns;
     m.waves_in_flight = 1;

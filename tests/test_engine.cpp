@@ -204,6 +204,56 @@ TEST(wave_stream, streams_chunks_incrementally) {
   EXPECT_EQ(second.unpack()[0], reference.outputs[0]);
 }
 
+TEST(wave_stream, finish_resets_for_full_reuse) {
+  // The documented reset semantics of finish(): counters return to zero and
+  // a second, differently sized run through the same stream is exact.
+  const auto balanced = insert_buffers(gen::multiplier_circuit(3)).net;
+  const engine::compiled_netlist compiled{balanced};
+  engine::wave_stream stream{compiled, 3};
+
+  const auto first_waves = random_waves(100, balanced.num_pis(), 41);
+  for (const auto& wave : first_waves) {
+    stream.push(wave);
+  }
+  const auto first = stream.finish();
+  EXPECT_EQ(first.num_waves, first_waves.size());
+  EXPECT_EQ(stream.waves_pushed(), 0u);
+  EXPECT_EQ(stream.waves_completed(), 0u);
+
+  // An immediate finish() on the reset stream is an empty result.
+  const auto empty = stream.finish();
+  EXPECT_EQ(empty.num_waves, 0u);
+  EXPECT_EQ(empty.ticks, 0u);
+  EXPECT_TRUE(empty.words.empty());
+
+  const auto second_waves = random_waves(70, balanced.num_pis(), 43);
+  for (const auto& wave : second_waves) {
+    stream.push(wave);
+  }
+  const auto second = stream.finish();
+  EXPECT_EQ(second.num_waves, second_waves.size());
+  const auto reference =
+      engine::run_waves_packed(compiled, engine::wave_batch::from_waves(
+                                             second_waves, balanced.num_pis()), 3);
+  EXPECT_EQ(second.words, reference.words);
+  EXPECT_EQ(second.ticks, reference.ticks);
+}
+
+TEST(wave_batch, append_validates_width_and_leaves_batch_usable) {
+  engine::wave_batch batch{3};
+  batch.append({true, false, true});
+  EXPECT_THROW(batch.append({true}), std::invalid_argument);
+  EXPECT_THROW(batch.append({true, false, true, false}), std::invalid_argument);
+  EXPECT_THROW(batch.append({}), std::invalid_argument);
+  // A rejected append must not corrupt the batch.
+  EXPECT_EQ(batch.num_waves(), 1u);
+  batch.append({false, true, false});
+  EXPECT_EQ(batch.num_waves(), 2u);
+  EXPECT_TRUE(batch.input(0, 0));
+  EXPECT_FALSE(batch.input(1, 0));
+  EXPECT_TRUE(batch.input(1, 1));
+}
+
 TEST(wave_stream, rejects_incoherent_netlists_and_bad_widths) {
   const auto net = gen::ripple_adder_circuit(5);
   const engine::compiled_netlist raw{net};

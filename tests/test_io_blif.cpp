@@ -90,6 +90,97 @@ TEST(blif_reader, line_continuations_and_comments) {
   EXPECT_EQ(net.num_pos(), 1u);
 }
 
+TEST(blif_reader, rejects_file_ending_mid_continuation) {
+  // A trailing '\' promises another line; the seed parser silently dropped
+  // the whole accumulated statement at EOF.
+  std::stringstream eof_continuation{".model t\n.inputs a b\n.outputs f\n"
+                                     ".names a b \\"};
+  EXPECT_THROW(io::read_blif(eof_continuation), io::parse_error);
+
+  std::stringstream eof_with_newline{".model t\n.inputs a b\n.outputs f\n"
+                                     ".names a b \\\n"};
+  EXPECT_THROW(io::read_blif(eof_with_newline), io::parse_error);
+}
+
+TEST(blif_reader, backslash_inside_comment_is_not_a_continuation) {
+  // '#' comments run to end of line, so the '\' below is commented out and
+  // ".names a b f" must parse as its own complete statement.
+  std::stringstream ss{".model t\n.inputs a b # two inputs \\\n.outputs f\n"
+                       ".names a b f\n11 1\n.end\n"};
+  const auto net = io::read_blif(ss);
+  EXPECT_EQ(net.num_pis(), 2u);
+  EXPECT_EQ(net.num_pos(), 1u);
+  const auto tts = simulate_truth_tables(net);
+  const auto a = truth_table::nth_var(2, 0);
+  const auto b = truth_table::nth_var(2, 1);
+  EXPECT_EQ(tts[0], a & b);
+}
+
+TEST(blif_reader, continuation_survives_trailing_whitespace_and_comment) {
+  // "\" separated from the comment (or end of line) by whitespace is still
+  // a continuation once the comment and padding are stripped.
+  std::stringstream ss{".model t\n.inputs a \\ # wraps\nb\n.outputs f\n"
+                       ".names a b f\n11 1\n.end\n"};
+  const auto net = io::read_blif(ss);
+  EXPECT_EQ(net.num_pis(), 2u);
+
+  std::stringstream padded{".model t\n.inputs a \\\t\nb\n.outputs f\n"
+                           ".names a b f\n11 1\n.end\n"};
+  EXPECT_EQ(io::read_blif(padded).num_pis(), 2u);
+}
+
+TEST(blif_writer, internal_names_never_collide_with_user_names) {
+  // Adversarial PI/PO names: "n<k>" shaped like internal node names, "_b"
+  // suffixes shaped like shared-inverter names, and the constant names.
+  mig_network net;
+  const signal n7 = net.create_pi("n7");
+  const signal n3 = net.create_pi("n3");
+  const signal n3_b = net.create_pi("n3_b");
+  const signal c0 = net.create_pi("const0");
+  net.create_po(net.create_maj(n7, n3, n3_b), "n5");
+  net.create_po(net.create_maj(!n7, c0, constant1), "const1");
+  net.create_po(!n3, "n7_b");
+
+  std::stringstream ss;
+  io::write_blif(net, ss);
+  const auto back = io::read_blif(ss);
+  ASSERT_EQ(back.num_pis(), net.num_pis());
+  ASSERT_EQ(back.num_pos(), net.num_pos());
+  EXPECT_TRUE(functionally_equivalent(net, back));
+}
+
+TEST(blif_writer, sanitizes_unprintable_user_names) {
+  // Whitespace or '#' inside a name would change the token structure of the
+  // written file; the writer must emit something that parses back.
+  mig_network net;
+  const signal a = net.create_pi("a b");
+  const signal b = net.create_pi("x#y");
+  const signal c = net.create_pi("tab\there");
+  net.create_po(net.create_maj(a, b, c), "out 1");
+
+  std::stringstream ss;
+  io::write_blif(net, ss);
+  const auto back = io::read_blif(ss);
+  ASSERT_EQ(back.num_pis(), 3u);
+  ASSERT_EQ(back.num_pos(), 1u);
+  EXPECT_TRUE(functionally_equivalent(net, back));
+}
+
+TEST(blif_writer, uniquifies_duplicate_user_names) {
+  mig_network net;
+  const signal a = net.create_pi("sig");
+  const signal b = net.create_pi("sig");  // duplicate PI name
+  const signal c = net.create_pi("c");
+  net.create_po(net.create_maj(a, b, c), "sig");  // PO colliding with PIs
+
+  std::stringstream ss;
+  io::write_blif(net, ss);
+  const auto back = io::read_blif(ss);
+  ASSERT_EQ(back.num_pis(), 3u);
+  ASSERT_EQ(back.num_pos(), 1u);
+  EXPECT_TRUE(functionally_equivalent(net, back));
+}
+
 TEST(blif_reader, rejects_sequential_and_hierarchy) {
   std::stringstream latch{".model t\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n"};
   EXPECT_THROW(io::read_blif(latch), io::parse_error);

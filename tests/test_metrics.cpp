@@ -65,6 +65,19 @@ TEST(metrics, latency_and_throughput_non_pipelined) {
   EXPECT_EQ(m.waves_in_flight, 1u);
 }
 
+TEST(metrics, depth_zero_network_still_has_one_wave_in_flight) {
+  // PI-to-PO wires have depth 0; like the latency_ns fallback, the wave
+  // count must clamp to the one wave physically traversing the circuit.
+  mig_network net;
+  const signal a = net.create_pi();
+  net.create_po(a, "f");
+  const auto tech = technology::swd();
+  const auto m = compute_metrics(net, tech, /*wave_pipelined=*/true, 3);
+  EXPECT_EQ(m.depth, 0u);
+  EXPECT_EQ(m.waves_in_flight, 1u);
+  EXPECT_DOUBLE_EQ(m.latency_ns, tech.phase_delay_ns);
+}
+
 TEST(metrics, throughput_wave_pipelined_is_depth_independent) {
   const auto shallow = gen::ripple_adder_circuit(4);
   const auto deep = gen::ripple_adder_circuit(32);

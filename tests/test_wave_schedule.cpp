@@ -35,6 +35,53 @@ TEST(wave_schedule, detects_level_jumping_edge) {
   EXPECT_FALSE(r.issues.empty());
 }
 
+TEST(wave_schedule, backward_edges_report_without_unsigned_wraparound) {
+  // A hand-crafted schedule with a backward edge and a level-equal edge:
+  // the diagnostics must call them out as non-advancing instead of printing
+  // a wrapped-around span like 4294967295.
+  mig_network net;
+  const signal a = net.create_pi();
+  const signal b = net.create_pi();
+  const signal c = net.create_pi();
+  const signal g1 = net.create_maj(a, b, c);
+  const signal g2 = net.create_maj(g1, a, b);
+  net.create_po(g2);
+
+  level_map schedule;
+  schedule.level.assign(net.num_nodes(), 0);
+  schedule.level[g1.index()] = 3;  // g1 scheduled above g2: backward edge
+  schedule.level[g2.index()] = 1;
+  schedule.depth = 3;
+
+  const auto r = check_wave_readiness(net, schedule, 0);
+  EXPECT_FALSE(r.ready);
+  EXPECT_GE(r.violating_edges, 1u);
+  for (const auto& issue : r.issues) {
+    EXPECT_EQ(issue.find("4294967295"), std::string::npos) << issue;
+    EXPECT_EQ(issue.find("spans 0"), std::string::npos) << issue;
+  }
+  bool backward_reported = false;
+  for (const auto& issue : r.issues) {
+    if (issue.find("does not advance") != std::string::npos) {
+      backward_reported = true;
+    }
+  }
+  EXPECT_TRUE(backward_reported);
+
+  // A level-equal edge (span 0) is also "does not advance", not "spans 0".
+  schedule.level[g1.index()] = 1;
+  const auto equal = check_wave_readiness(net, schedule, 0);
+  EXPECT_FALSE(equal.ready);
+  bool equal_reported = false;
+  for (const auto& issue : equal.issues) {
+    EXPECT_EQ(issue.find("spans"), std::string::npos) << issue;
+    if (issue.find("does not advance") != std::string::npos) {
+      equal_reported = true;
+    }
+  }
+  EXPECT_TRUE(equal_reported);
+}
+
 TEST(wave_schedule, detects_misaligned_outputs) {
   mig_network net;
   const signal a = net.create_pi();
