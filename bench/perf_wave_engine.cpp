@@ -12,6 +12,11 @@
 //   engine parallel — run_waves_parallel: the packed chunks sharded across
 //                 a persistent worker pool (thread-scaling sweep at 1, 2, 4
 //                 and hardware-concurrency threads).
+//   serving async — serving_session: the async submission front-end
+//                 (futures over a multi-producer queue, compiled-netlist
+//                 cache), measured at steady state, plus a cache-churn
+//                 sweep that hammers a byte-bounded cache with a rotating
+//                 circuit mix and verifies the bound is never exceeded.
 //
 //   $ ./bench/perf_wave_engine [--json] [num_waves]
 
@@ -19,6 +24,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <future>
 #include <random>
 #include <thread>
 #include <vector>
@@ -27,8 +34,10 @@
 #include "wavemig/buffer_insertion.hpp"
 #include "wavemig/engine/compiled_netlist.hpp"
 #include "wavemig/engine/parallel_executor.hpp"
+#include "wavemig/engine/serving.hpp"
 #include "wavemig/engine/wave_engine.hpp"
 #include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/random_mig.hpp"
 #include "wavemig/levels.hpp"
 #include "wavemig/wave_simulator.hpp"
 
@@ -233,6 +242,109 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- async serving throughput ---------------------------------------------
+  // The serving front-end against the same adder: submit a burst of
+  // batch-sized requests as futures and wait them all. Steady state — the
+  // warm-up request pays the one compile (cache miss); every timed request
+  // is a cache hit sharded across the pool.
+  engine::parallel_executor serve_executor{hw_threads};
+  double serving_wps = 0.0;
+  constexpr std::size_t serving_requests = 16;
+  {
+    engine::serving_session serving{serve_executor};
+    (void)serving.submit(raw, sweep_batch, phases).get();  // warm-up: compile + pack
+    std::vector<std::future<engine::packed_wave_result>> futures;
+    futures.reserve(serving_requests);
+    start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < serving_requests; ++r) {
+      futures.push_back(serving.submit(raw, sweep_batch, phases));
+    }
+    for (auto& future : futures) {
+      if (future.get().words != sweep_reference.words) {
+        std::fprintf(stderr, "FATAL: async serving path diverges from packed\n");
+        return 2;
+      }
+    }
+    serving_wps =
+        static_cast<double>(serving_requests * sweep_waves) / seconds_since(start);
+  }
+
+  // --- cache-churn sweep ----------------------------------------------------
+  // A serving-shaped circuit mix through a byte-bounded cache: a hot set of
+  // four circuits interleaved with a long cold tail, so the hot programs
+  // stay resident while the cold ones evict each other on a steady diet —
+  // all while requests are in flight. The byte bound is a hard ceiling —
+  // exceeding it at any sample point fails the bench.
+  constexpr std::size_t churn_circuits = 24;
+  constexpr std::size_t churn_rounds = 4;
+  std::vector<mig_network> circuits;
+  circuits.reserve(churn_circuits);
+  for (std::size_t i = 0; i < churn_circuits; ++i) {
+    circuits.push_back(
+        gen::random_mig({16, 150, 0.5, 8, static_cast<std::uint64_t>(9000 + i)}));
+  }
+  // Budget: the four hot programs exactly, plus the five largest cold
+  // programs — hot entries survive their reuse distance no matter which
+  // cold programs happen to be resident, while the cold tail (20 circuits
+  // into 5 slots) evicts itself on a steady diet.
+  const auto program_bytes = [](const mig_network& circuit) {
+    const auto balanced = insert_buffers(circuit);
+    return engine::compiled_netlist{balanced.net, balanced.schedule}.memory_bytes();
+  };
+  std::size_t byte_bound = 0;
+  std::vector<std::size_t> cold_bytes;
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    const std::size_t bytes = program_bytes(circuits[i]);
+    if (i < 4) {
+      byte_bound += bytes;
+    } else {
+      cold_bytes.push_back(bytes);
+    }
+  }
+  std::sort(cold_bytes.begin(), cold_bytes.end(), std::greater<>{});
+  for (std::size_t i = 0; i < 5; ++i) {
+    byte_bound += cold_bytes[i];
+  }
+
+  engine::session_stats churn_stats;
+  std::size_t churn_max_bytes = 0;
+  {
+    engine::serving_session churn{serve_executor, {}, {.max_bytes = byte_bound}};
+    std::mt19937_64 churn_rng{31};
+    std::vector<std::future<engine::packed_wave_result>> futures;
+    for (std::size_t round = 0; round < churn_rounds; ++round) {
+      futures.clear();
+      for (std::size_t r = 0; r < 2 * circuits.size(); ++r) {
+        // Even requests walk the cold tail, odd ones revisit the hot four.
+        const auto& circuit =
+            (r % 2 == 0) ? circuits[4 + (r / 2) % (circuits.size() - 4)]
+                         : circuits[(r / 2) % 4];
+        engine::wave_batch batch{circuit.num_pis()};
+        std::vector<bool> wave(circuit.num_pis());
+        for (std::size_t w = 0; w < 128; ++w) {
+          for (std::size_t i = 0; i < wave.size(); ++i) {
+            wave[i] = (churn_rng() & 1u) != 0;
+          }
+          batch.append(wave);
+        }
+        futures.push_back(churn.submit(circuit, std::move(batch), phases));
+        churn_max_bytes = std::max(churn_max_bytes, churn.stats().bytes);
+      }
+      for (auto& future : futures) {
+        (void)future.get();
+      }
+      churn_max_bytes = std::max(churn_max_bytes, churn.stats().bytes);
+      if (churn_max_bytes > byte_bound) {
+        std::fprintf(stderr, "FATAL: cache exceeded its byte bound (%zu > %zu)\n",
+                     churn_max_bytes, byte_bound);
+        return 2;
+      }
+    }
+    churn_stats = churn.stats();
+  }
+  const double churn_hit_rate = static_cast<double>(churn_stats.hits) /
+                                static_cast<double>(churn_stats.hits + churn_stats.misses);
+
   const double seed_wps = static_cast<double>(num_waves) / seed_s;
   const double scalar_wps = static_cast<double>(num_waves) / scalar_s;
   const double packed_wps = static_cast<double>(num_waves) / packed_s;
@@ -259,6 +371,16 @@ int main(int argc, char** argv) {
                          "engine_parallel_scaling_t" + std::to_string(thread_counts[i]),
                          parallel_wps[i] / parallel_wps[0]);
     }
+    bench::json_record("perf_wave_engine", "serving_async_waves_per_s", serving_wps);
+    bench::json_record("perf_wave_engine", "serving_async_vs_parallel",
+                       serving_wps / parallel_wps.back());
+    bench::json_record("perf_wave_engine", "serving_cache_hit_rate", churn_hit_rate);
+    bench::json_record("perf_wave_engine", "serving_cache_evictions",
+                       static_cast<double>(churn_stats.evictions));
+    bench::json_record("perf_wave_engine", "serving_cache_byte_bound",
+                       static_cast<double>(byte_bound));
+    bench::json_record("perf_wave_engine", "serving_cache_max_resident_bytes",
+                       static_cast<double>(churn_max_bytes));
   } else {
     std::printf("%-22s %14s %14s %10s\n", "path", "time [s]", "waves/s", "speedup");
     bench::print_rule('-', 64);
@@ -281,6 +403,19 @@ int main(int argc, char** argv) {
       std::printf("%-22u %14s %9sx\n", thread_counts[i], bench::fmt(parallel_wps[i]).c_str(),
                   bench::fmt(parallel_wps[i] / parallel_wps[0]).c_str());
     }
+
+    std::printf("\nasync serving — %zu requests x %zu waves through serving_session\n",
+                serving_requests, sweep_waves);
+    std::printf("%-22s %14s\n", "serving async", bench::fmt(serving_wps).c_str());
+
+    std::printf("\ncache churn — %zu circuits, %zu rounds, byte bound %zu (hot 4 + ~5 cold)\n",
+                churn_circuits, churn_rounds, byte_bound);
+    std::printf("%-22s %14s\n", "hit rate",
+                bench::fmt(churn_hit_rate, 3).c_str());
+    std::printf("%-22s %14llu\n", "evictions",
+                static_cast<unsigned long long>(churn_stats.evictions));
+    std::printf("%-22s %14zu (bound %zu: %s)\n", "max resident bytes", churn_max_bytes,
+                byte_bound, churn_max_bytes <= byte_bound ? "OK" : "EXCEEDED");
 
     std::printf("\nacceptance: packed >= 10x over seed scalar: %s (%sx)\n",
                 packed_speedup >= 10.0 ? "PASS" : "FAIL",

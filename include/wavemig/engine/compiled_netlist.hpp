@@ -71,6 +71,11 @@ public:
 
   /// @name Interface shape
   /// @{
+  /// Resident bytes of the lowered programs (ops, references, PO metadata
+  /// plus the object header) — what a bounded compiled-netlist cache charges
+  /// an entry against its byte budget. Deterministic for a given network:
+  /// every vector is sized exactly during lowering and never reallocates.
+  [[nodiscard]] std::size_t memory_bytes() const;
   [[nodiscard]] std::size_t num_pis() const { return num_pis_; }
   [[nodiscard]] std::size_t num_pos() const { return num_pos_; }
   /// Majority operations in the combinational program.

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -151,6 +152,31 @@ private:
 /// execution.
 [[nodiscard]] std::uint64_t network_fingerprint(const mig_network& net);
 
+/// Bounds for a session's compiled-netlist cache. A value of 0 leaves the
+/// corresponding dimension unbounded (the PR-2 behavior: cache everything
+/// forever). `max_bytes` is charged per entry via
+/// `compiled_netlist::memory_bytes()` and is a hard ceiling: the cache
+/// evicts until it is back under the bound, even when that means the entry
+/// that was inserted a moment ago — requests already holding the program
+/// keep it alive through their shared_ptr, so eviction never invalidates an
+/// in-flight run.
+struct cache_limits {
+  std::size_t max_entries{0};
+  std::size_t max_bytes{0};
+};
+
+/// Point-in-time counters of a session's compiled-netlist cache. `hits` /
+/// `misses` / `evictions` are monotonic over the session's lifetime;
+/// `entries` / `bytes` describe what is resident right now (`bytes` never
+/// exceeds `cache_limits::max_bytes` when that bound is set).
+struct session_stats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t evictions{0};
+  std::size_t entries{0};
+  std::size_t bytes{0};
+};
+
 /// Serving-style compiled-netlist cache: the first batch against a network
 /// balances it (`insert_buffers` with the session options) and lowers it
 /// once; every later batch against a structurally identical network reuses
@@ -158,8 +184,15 @@ private:
 /// phases), so one session can interleave requests against many circuits
 /// without re-lowering any of them.
 ///
-/// Thread-safe: concurrent `run` calls may share the session and its
-/// executor. Two threads missing on the same key may both compile; one
+/// Long-lived sessions can bound the cache with `cache_limits`: entries are
+/// evicted least-recently-used first whenever the entry or byte bound is
+/// exceeded. Programs are refcounted (`shared_ptr`), so evicting an entry
+/// whose program a request still executes only drops the cache's reference;
+/// the run completes on its own copy and the memory is released when the
+/// last request finishes.
+///
+/// Thread-safe: concurrent `run`/`compile` calls may share the session and
+/// its executor. Two threads missing on the same key may both compile; one
 /// result wins the cache, both runs are correct.
 ///
 /// The lowered program itself does not depend on `phases` (coherence is
@@ -169,13 +202,21 @@ private:
 class batch_session {
 public:
   explicit batch_session(parallel_executor& executor,
-                         buffer_insertion_options options = {});
+                         buffer_insertion_options options = {}, cache_limits limits = {});
 
   /// Balances + compiles `net` on first sight (cache miss), then evaluates
   /// the batch on the executor. The returned words are bit-identical to
   /// `run_waves_packed` on the balanced network.
   packed_wave_result run(const mig_network& net, const wave_batch& waves, unsigned phases);
 
+  /// The cache lookup half of `run`: returns the (balanced + lowered)
+  /// program for `net`, compiling on a miss and touching the LRU order on a
+  /// hit. The returned reference keeps the program alive independently of
+  /// any later eviction.
+  [[nodiscard]] std::shared_ptr<const compiled_netlist> compile(const mig_network& net,
+                                                                unsigned phases);
+
+  [[nodiscard]] session_stats stats() const;
   [[nodiscard]] std::size_t cached_netlists() const;
   [[nodiscard]] std::uint64_t cache_hits() const;
   [[nodiscard]] std::uint64_t cache_misses() const;
@@ -190,14 +231,25 @@ private:
   struct cache_key_hash {
     std::size_t operator()(const cache_key& k) const noexcept;
   };
+  struct cache_entry {
+    std::shared_ptr<const compiled_netlist> program;
+    std::size_t bytes{0};
+    std::list<cache_key>::iterator lru_pos;
+  };
+
+  /// Pops LRU entries until both bounds hold again. Caller holds mutex_.
+  void evict_to_limits();
 
   parallel_executor& executor_;
   buffer_insertion_options options_;
+  cache_limits limits_;
   mutable std::mutex mutex_;
-  std::unordered_map<cache_key, std::shared_ptr<const compiled_netlist>, cache_key_hash>
-      cache_;
+  std::list<cache_key> lru_;  // front = most recently used
+  std::unordered_map<cache_key, cache_entry, cache_key_hash> cache_;
+  std::size_t bytes_{0};
   std::uint64_t hits_{0};
   std::uint64_t misses_{0};
+  std::uint64_t evictions_{0};
 };
 
 }  // namespace wavemig::engine

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/engine/parallel_executor.hpp"
+#include "wavemig/engine/wave_engine.hpp"
+#include "wavemig/mig.hpp"
+
+namespace wavemig::engine {
+
+/// Completion callback of the async serving API. Exactly one of the two
+/// arguments is meaningful: on success `error` is null and `result` carries
+/// the packed outputs; on failure (e.g. an incoherent netlist or a
+/// PI-count mismatch) `error` holds the exception and `result` is empty.
+/// Callbacks run on a dispatcher thread — they may `submit` further
+/// requests, but must not block on the session (`drain`/`close`) or on the
+/// executor, and should hand heavy post-processing to the caller's own
+/// threads. An exception thrown by a callback (e.g. a follow-up `submit`
+/// racing `close()`) is caught and discarded; it never kills a dispatcher.
+using serving_callback =
+    std::function<void(packed_wave_result result, std::exception_ptr error)>;
+
+/// Async serving front-end over `batch_session`: a multi-producer
+/// submission queue feeding a small pool of dispatcher threads, which
+/// compile through the session's bounded compiled-netlist cache and shard
+/// the actual wave evaluation across the shared `parallel_executor`.
+///
+/// * `submit` never blocks on evaluation — it enqueues and returns a
+///   `std::future` (or fires a completion callback) whose result words are
+///   bit-identical to `run_waves_packed` on the session-balanced network.
+/// * Per-request compiled-netlist reuse: requests against structurally
+///   identical networks share one cached program; the request holds its own
+///   reference, so cache eviction (LRU under `cache_limits`) while the
+///   request is in flight is safe.
+/// * Dispatcher threads are deliberately separate from the executor's
+///   workers: a request's `run` blocks on the pool (`for_each`), which must
+///   never happen from inside a pool task.
+///
+/// Shutdown is graceful by default: `close()` (and the destructor) stops
+/// accepting new requests, drains everything already accepted, then joins
+/// the dispatchers. No accepted request is ever dropped.
+class serving_session {
+public:
+  /// The executor must outlive the session. `dispatchers == 0` resolves to
+  /// 2 — enough to overlap one request's compile (cache miss) with another
+  /// request's evaluation; raise it for workloads dominated by misses.
+  explicit serving_session(parallel_executor& executor,
+                           buffer_insertion_options options = {}, cache_limits limits = {},
+                           unsigned dispatchers = 0);
+  ~serving_session();
+
+  serving_session(const serving_session&) = delete;
+  serving_session& operator=(const serving_session&) = delete;
+
+  /// Enqueues one request and returns a future for its packed result.
+  /// Validation happens on the dispatcher, so malformed requests surface as
+  /// exceptions from `future.get()`, not from `submit`. Throws
+  /// std::runtime_error when the session is closed.
+  [[nodiscard]] std::future<packed_wave_result> submit(mig_network net, wave_batch waves,
+                                                       unsigned phases);
+
+  /// Callback variant: `on_complete` fires exactly once per accepted
+  /// request (see serving_callback for the threading contract).
+  void submit(mig_network net, wave_batch waves, unsigned phases,
+              serving_callback on_complete);
+
+  /// Blocks until every request accepted so far completed. New submissions
+  /// remain allowed (and may keep `drain` from returning if they keep
+  /// arriving).
+  void drain();
+
+  /// Stops accepting (`submit` throws), drains all accepted requests, joins
+  /// the dispatchers. Idempotent and safe to call concurrently.
+  void close();
+
+  /// Requests accepted but not yet completed (queued + executing).
+  [[nodiscard]] std::size_t pending() const;
+  /// Dispatcher threads still attached (0 once closed). Blocks while a
+  /// concurrent `close()` is joining them.
+  [[nodiscard]] unsigned num_dispatchers() const {
+    std::lock_guard<std::mutex> lock{close_mutex_};
+    return static_cast<unsigned>(dispatchers_.size());
+  }
+
+  /// Counters of the underlying compiled-netlist cache.
+  [[nodiscard]] session_stats stats() const { return session_.stats(); }
+  /// The synchronous session underneath — shares the cache with the async
+  /// path, so mixed sync/async workloads reuse one set of programs.
+  [[nodiscard]] batch_session& session() { return session_; }
+
+private:
+  struct request {
+    mig_network net;
+    wave_batch waves{0};  // wave_batch has no default constructor
+    unsigned phases{0};
+    serving_callback done;
+  };
+
+  void dispatcher_loop();
+
+  batch_session session_;
+  mutable std::mutex mutex_;
+  std::condition_variable queue_ready_;  // dispatchers: work or close
+  std::condition_variable idle_;         // drain: queue empty and nothing active
+  std::deque<request> queue_;
+  std::size_t active_{0};
+  bool closed_{false};
+  /// Serializes joining: every close() caller blocks until the dispatchers
+  /// are actually joined, not just until someone else started joining.
+  /// Guards dispatchers_ once the session is visible to other threads.
+  mutable std::mutex close_mutex_;
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace wavemig::engine

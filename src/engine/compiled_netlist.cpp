@@ -124,6 +124,13 @@ void compiled_netlist::lower(const mig_network& net, const level_map* schedule) 
   }
 }
 
+std::size_t compiled_netlist::memory_bytes() const {
+  const auto vec_bytes = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+  return sizeof(*this) + vec_bytes(comb_ops_) + vec_bytes(comb_po_refs_) +
+         vec_bytes(tick_ops_) + vec_bytes(pi_slots_) + vec_bytes(po_refs_) +
+         vec_bytes(po_levels_) + (po_constant_.capacity() + 7) / 8;
+}
+
 void compiled_netlist::eval_words_into(const std::uint64_t* pi_words, std::uint64_t* po_words,
                                        std::vector<std::uint64_t>& slots) const {
   slots.resize(comb_slot_count_);

@@ -226,32 +226,68 @@ std::size_t batch_session::cache_key_hash::operator()(const cache_key& k) const 
   return static_cast<std::size_t>(h ^ (h >> 32));
 }
 
-batch_session::batch_session(parallel_executor& executor, buffer_insertion_options options)
-    : executor_{executor}, options_{options} {}
+batch_session::batch_session(parallel_executor& executor, buffer_insertion_options options,
+                             cache_limits limits)
+    : executor_{executor}, options_{options}, limits_{limits} {}
 
-packed_wave_result batch_session::run(const mig_network& net, const wave_batch& waves,
-                                      unsigned phases) {
+void batch_session::evict_to_limits() {
+  while (!lru_.empty() &&
+         ((limits_.max_entries != 0 && cache_.size() > limits_.max_entries) ||
+          (limits_.max_bytes != 0 && bytes_ > limits_.max_bytes))) {
+    const auto it = cache_.find(lru_.back());
+    bytes_ -= it->second.bytes;
+    cache_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
+                                                               unsigned phases) {
   const cache_key key{network_fingerprint(net), options_.strategy, phases};
 
-  std::shared_ptr<const compiled_netlist> compiled;
   {
     std::lock_guard<std::mutex> lock{mutex_};
     if (const auto it = cache_.find(key); it != cache_.end()) {
       ++hits_;
-      compiled = it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.program;
     }
   }
-  if (!compiled) {
-    // Balance + lower outside the lock; a concurrent miss on the same key
-    // compiles the identical program and the first insert wins.
-    const auto balanced = insert_buffers(net, options_);
-    auto fresh = std::make_shared<const compiled_netlist>(balanced.net, balanced.schedule);
-    std::lock_guard<std::mutex> lock{mutex_};
-    ++misses_;
-    compiled = cache_.try_emplace(key, std::move(fresh)).first->second;
-  }
 
+  // Balance + lower outside the lock; a concurrent miss on the same key
+  // compiles the identical program and the first insert wins.
+  const auto balanced = insert_buffers(net, options_);
+  auto fresh = std::make_shared<const compiled_netlist>(balanced.net, balanced.schedule);
+
+  std::lock_guard<std::mutex> lock{mutex_};
+  ++misses_;
+  const auto [it, inserted] = cache_.try_emplace(key);
+  if (inserted) {
+    it->second.program = std::move(fresh);
+    it->second.bytes = it->second.program->memory_bytes();
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    bytes_ += it->second.bytes;
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  // Hold our own reference before eviction: when this entry alone exceeds
+  // max_bytes it is evicted immediately, yet the caller's run proceeds.
+  auto program = it->second.program;
+  evict_to_limits();
+  return program;
+}
+
+packed_wave_result batch_session::run(const mig_network& net, const wave_batch& waves,
+                                      unsigned phases) {
+  const auto compiled = compile(net, phases);
   return run_waves_parallel(*compiled, waves, phases, executor_);
+}
+
+session_stats batch_session::stats() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return {hits_, misses_, evictions_, cache_.size(), bytes_};
 }
 
 std::size_t batch_session::cached_netlists() const {

@@ -1,0 +1,123 @@
+#include "wavemig/engine/serving.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace wavemig::engine {
+
+serving_session::serving_session(parallel_executor& executor,
+                                 buffer_insertion_options options, cache_limits limits,
+                                 unsigned dispatchers)
+    : session_{executor, options, limits} {
+  if (dispatchers == 0) {
+    dispatchers = 2;
+  }
+  dispatchers_.reserve(dispatchers);
+  for (unsigned d = 0; d < dispatchers; ++d) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+serving_session::~serving_session() { close(); }
+
+void serving_session::submit(mig_network net, wave_batch waves, unsigned phases,
+                             serving_callback on_complete) {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (closed_) {
+      throw std::runtime_error{"serving_session: submit after close"};
+    }
+    queue_.push_back({std::move(net), std::move(waves), phases, std::move(on_complete)});
+  }
+  queue_ready_.notify_one();
+}
+
+std::future<packed_wave_result> serving_session::submit(mig_network net, wave_batch waves,
+                                                        unsigned phases) {
+  auto promise = std::make_shared<std::promise<packed_wave_result>>();
+  auto future = promise->get_future();
+  submit(std::move(net), std::move(waves), phases,
+         [promise](packed_wave_result result, std::exception_ptr error) {
+           if (error) {
+             promise->set_exception(error);
+           } else {
+             promise->set_value(std::move(result));
+           }
+         });
+  return future;
+}
+
+void serving_session::dispatcher_loop() {
+  for (;;) {
+    request req;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      queue_ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // closed and fully drained
+      }
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+
+    // The request pins its compiled program via shared_ptr, so a concurrent
+    // LRU eviction of the same entry cannot pull the program out from under
+    // the evaluation.
+    packed_wave_result result;
+    std::exception_ptr error;
+    try {
+      result = session_.run(req.net, req.waves, req.phases);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // A callback that throws (including a follow-up submit racing close())
+    // must not take down the dispatcher — and with it the process.
+    try {
+      if (req.done) {
+        req.done(std::move(result), error);
+      }
+    } catch (...) {
+    }
+    req = request{};  // release the network/batch before reporting idle
+
+    {
+      std::lock_guard<std::mutex> lock{mutex_};
+      if (--active_ == 0 && queue_.empty()) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+void serving_session::drain() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void serving_session::close() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    closed_ = true;
+  }
+  queue_ready_.notify_all();
+  drain();
+  // close_mutex_ serializes concurrent closers: the first joins, every
+  // later one (including a destructor racing it) blocks here until the
+  // join completed, so no caller ever returns while a dispatcher thread
+  // can still touch the session. mutex_ is not held — the dispatchers
+  // need it to finish their last iteration.
+  std::lock_guard<std::mutex> close_lock{close_mutex_};
+  for (auto& dispatcher : dispatchers_) {
+    dispatcher.join();
+  }
+  dispatchers_.clear();
+}
+
+std::size_t serving_session::pending() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return queue_.size() + active_;
+}
+
+}  // namespace wavemig::engine

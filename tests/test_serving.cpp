@@ -1,0 +1,355 @@
+// Coverage for the serving layer added on top of batch_session: the bounded
+// LRU compiled-netlist cache (entry/byte bounds, session_stats counters,
+// fingerprint-keyed reuse, eviction racing in-flight requests) and the async
+// serving_session API (futures, completion callbacks, drain/close). The
+// concurrency tests here run under the TSan CI job alongside
+// test_parallel_engine.
+
+#include "wavemig/engine/serving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "wavemig/buffer_insertion.hpp"
+#include "wavemig/engine/compiled_netlist.hpp"
+#include "wavemig/engine/parallel_executor.hpp"
+#include "wavemig/engine/wave_engine.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/random_mig.hpp"
+
+namespace wavemig {
+namespace {
+
+std::vector<std::vector<bool>> random_waves(std::size_t count, std::size_t pis,
+                                            std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  std::vector<std::vector<bool>> waves(count, std::vector<bool>(pis));
+  for (auto& wave : waves) {
+    for (std::size_t i = 0; i < pis; ++i) {
+      wave[i] = (rng() & 1u) != 0;
+    }
+  }
+  return waves;
+}
+
+engine::wave_batch batch_for(const mig_network& net, std::size_t count, std::uint64_t seed) {
+  return engine::wave_batch::from_waves(random_waves(count, net.num_pis(), seed),
+                                        net.num_pis());
+}
+
+/// What the session caches for `net`: the balanced + lowered program's
+/// resident bytes. Sizing byte bounds from this keeps the tests independent
+/// of the lowering's memory layout.
+std::size_t program_bytes(const mig_network& net) {
+  const auto balanced = insert_buffers(net);
+  return engine::compiled_netlist{balanced.net, balanced.schedule}.memory_bytes();
+}
+
+engine::packed_wave_result packed_reference(const mig_network& net,
+                                            const engine::wave_batch& batch,
+                                            unsigned phases) {
+  const auto balanced = insert_buffers(net);
+  const engine::compiled_netlist compiled{balanced.net, balanced.schedule};
+  return engine::run_waves_packed(compiled, batch, phases);
+}
+
+// ------------------------------------------------------ bounded cache ---
+
+TEST(cache_eviction, entry_bound_evicts_least_recently_used) {
+  engine::parallel_executor executor{2};
+  engine::batch_session session{executor, {}, {.max_entries = 2}};
+
+  const auto a = gen::ripple_adder_circuit(4);
+  const auto b = gen::ripple_adder_circuit(5);
+  const auto c = gen::ripple_adder_circuit(6);
+  const auto run = [&](const mig_network& net) {
+    (void)session.run(net, batch_for(net, 70, 11), 3);
+  };
+
+  run(a);
+  run(b);
+  EXPECT_EQ(session.stats().entries, 2u);
+  EXPECT_EQ(session.stats().evictions, 0u);
+
+  run(a);  // touch: a becomes most recent, so b is the LRU victim
+  run(c);
+  const auto after_c = session.stats();
+  EXPECT_EQ(after_c.entries, 2u);
+  EXPECT_EQ(after_c.evictions, 1u);
+
+  run(a);  // still resident
+  EXPECT_EQ(session.stats().hits, after_c.hits + 1);
+  run(b);  // evicted above: compiles again
+  EXPECT_EQ(session.stats().misses, after_c.misses + 1);
+}
+
+TEST(cache_eviction, byte_bound_is_a_hard_ceiling) {
+  const auto a = gen::ripple_adder_circuit(4);
+  const auto b = gen::multiplier_circuit(3);
+  const auto c = gen::parity_circuit(10);
+  const std::size_t bound = program_bytes(a) + program_bytes(b);
+
+  engine::parallel_executor executor{2};
+  engine::batch_session session{executor, {}, {.max_bytes = bound}};
+
+  for (const auto* net : {&a, &b, &c, &a, &c, &b}) {
+    (void)session.run(*net, batch_for(*net, 64, 5), 3);
+    const auto stats = session.stats();
+    EXPECT_LE(stats.bytes, bound);
+    EXPECT_LE(stats.entries, 2u);
+  }
+  EXPECT_GT(session.stats().evictions, 0u);
+}
+
+TEST(cache_eviction, oversized_entry_is_evicted_but_still_serves) {
+  const auto net = gen::ripple_adder_circuit(6);
+  engine::parallel_executor executor{2};
+  engine::batch_session session{executor, {}, {.max_bytes = 1}};
+
+  const auto batch = batch_for(net, 150, 3);
+  const auto got = session.run(net, batch, 3);
+  EXPECT_EQ(got.words, packed_reference(net, batch, 3).words);
+
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+
+  // Nothing stays resident, so a repeat is a miss — bounded means bounded.
+  (void)session.run(net, batch, 3);
+  EXPECT_EQ(session.stats().misses, 2u);
+}
+
+TEST(cache_eviction, fingerprint_is_stable_across_equivalent_networks) {
+  // Same structure, different names: one cache entry, second run is a hit.
+  mig_network named;
+  named.create_po(
+      named.create_maj(named.create_pi("x"), named.create_pi("y"), named.create_pi("z")),
+      "f");
+  mig_network renamed;
+  renamed.create_po(renamed.create_maj(renamed.create_pi("p"), renamed.create_pi("q"),
+                                       renamed.create_pi("r")),
+                    "g");
+
+  engine::parallel_executor executor{2};
+  engine::batch_session session{executor, {}, {.max_entries = 4}};
+  const auto batch = batch_for(named, 40, 17);
+  const auto first = session.run(named, batch, 3);
+  const auto second = session.run(renamed, batch, 3);
+  EXPECT_EQ(first.words, second.words);
+  EXPECT_EQ(session.stats().misses, 1u);
+  EXPECT_EQ(session.stats().hits, 1u);
+  EXPECT_EQ(session.stats().entries, 1u);
+}
+
+TEST(cache_eviction, stats_counters_are_consistent) {
+  engine::parallel_executor executor{2};
+  engine::batch_session session{executor, {}, {.max_entries = 2}};
+
+  const auto nets = std::vector<mig_network>{gen::ripple_adder_circuit(4),
+                                             gen::parity_circuit(8),
+                                             gen::multiplier_circuit(3)};
+  std::uint64_t runs = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& net : nets) {
+      (void)session.run(net, batch_for(net, 64, round + 1), 3);
+      ++runs;
+      const auto stats = session.stats();
+      EXPECT_EQ(stats.hits + stats.misses, runs);
+      EXPECT_EQ(stats.entries, session.cached_netlists());
+      EXPECT_LE(stats.entries, 2u);
+    }
+  }
+  // Round-robin over 3 circuits with room for 2 thrashes forever.
+  EXPECT_GT(session.stats().evictions, 0u);
+}
+
+TEST(cache_eviction, compile_reference_survives_eviction) {
+  const auto net = gen::ripple_adder_circuit(5);
+  engine::parallel_executor executor{2};
+  engine::batch_session session{executor, {}, {.max_entries = 1}};
+
+  const auto program = session.compile(net, 3);
+  const auto other = gen::multiplier_circuit(3);
+  (void)session.run(other, batch_for(other, 64, 9), 3);  // evicts `net`'s entry
+  EXPECT_EQ(session.stats().evictions, 1u);
+
+  // The evicted program is still fully usable through our reference.
+  const auto batch = batch_for(net, 100, 21);
+  const auto got = engine::run_waves_parallel(*program, batch, 3, executor);
+  EXPECT_EQ(got.words, packed_reference(net, batch, 3).words);
+}
+
+// ----------------------------------------------------- serving session ---
+
+TEST(serving_session, futures_are_bit_identical_to_packed) {
+  engine::parallel_executor executor{4};
+  engine::serving_session serving{executor};
+
+  const auto net = gen::multiplier_circuit(4);
+  std::vector<engine::wave_batch> batches;
+  std::vector<std::future<engine::packed_wave_result>> futures;
+  for (int i = 0; i < 6; ++i) {
+    batches.push_back(batch_for(net, 100 + 17 * i, 100 + i));
+  }
+  for (const auto& batch : batches) {
+    futures.push_back(serving.submit(net, batch, 3));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto got = futures[i].get();
+    const auto want = packed_reference(net, batches[i], 3);
+    EXPECT_EQ(got.words, want.words) << "request " << i;
+    EXPECT_EQ(got.num_waves, want.num_waves) << "request " << i;
+    EXPECT_EQ(got.ticks, want.ticks) << "request " << i;
+  }
+  // One circuit, six requests, one resident program. Two dispatchers may
+  // both miss on the first sight of the circuit (documented batch_session
+  // behavior), so the exact hit/miss split is timing-dependent.
+  const auto stats = serving.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 6u);
+  EXPECT_GE(stats.misses, 1u);
+  EXPECT_LE(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(serving_session, callback_variant_completes_with_result) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor};
+
+  const auto net = gen::ripple_adder_circuit(5);
+  const auto batch = batch_for(net, 130, 77);
+  const auto want = packed_reference(net, batch, 3);
+
+  std::promise<engine::packed_wave_result> delivered;
+  serving.submit(net, batch, 3,
+                 [&](engine::packed_wave_result result, std::exception_ptr error) {
+                   ASSERT_EQ(error, nullptr);
+                   delivered.set_value(std::move(result));
+                 });
+  EXPECT_EQ(delivered.get_future().get().words, want.words);
+}
+
+TEST(serving_session, errors_surface_through_future_and_callback) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor};
+  const auto net = gen::ripple_adder_circuit(4);
+
+  // phases == 0 is rejected by the packed-path validation on the dispatcher.
+  auto bad_phases = serving.submit(net, batch_for(net, 10, 1), 0);
+  EXPECT_THROW(bad_phases.get(), std::invalid_argument);
+
+  // PI-count mismatch reaches the callback as an exception_ptr.
+  std::promise<std::exception_ptr> seen;
+  serving.submit(net, engine::wave_batch{net.num_pis() + 3}, 3,
+                 [&](engine::packed_wave_result, std::exception_ptr error) {
+                   seen.set_value(error);
+                 });
+  const auto error = seen.get_future().get();
+  ASSERT_NE(error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), std::invalid_argument);
+
+  // A failed request does not poison the session.
+  EXPECT_EQ(serving.submit(net, batch_for(net, 64, 2), 3).get().num_waves, 64u);
+}
+
+TEST(serving_session, drain_close_and_submit_after_close) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor, {}, {}, 2};
+  EXPECT_EQ(serving.num_dispatchers(), 2u);
+
+  const auto net = gen::parity_circuit(10);
+  std::vector<std::future<engine::packed_wave_result>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(serving.submit(net, batch_for(net, 200, i), 3));
+  }
+  serving.drain();
+  EXPECT_EQ(serving.pending(), 0u);
+  for (auto& future : futures) {
+    EXPECT_EQ(future.wait_for(std::chrono::seconds{0}), std::future_status::ready);
+    EXPECT_EQ(future.get().num_waves, 200u);
+  }
+
+  serving.close();
+  serving.close();  // idempotent
+  EXPECT_EQ(serving.num_dispatchers(), 0u);
+  EXPECT_THROW((void)serving.submit(net, batch_for(net, 10, 1), 3), std::runtime_error);
+}
+
+TEST(serving_session, callbacks_may_submit_follow_up_requests) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor};
+  const auto net = gen::ripple_adder_circuit(4);
+  const auto batch = batch_for(net, 64, 31);
+
+  std::promise<std::size_t> chained_waves;
+  serving.submit(net, batch, 3,
+                 [&](engine::packed_wave_result, std::exception_ptr error) {
+                   ASSERT_EQ(error, nullptr);
+                   serving.submit(net, batch, 3,
+                                  [&](engine::packed_wave_result inner, std::exception_ptr) {
+                                    chained_waves.set_value(inner.num_waves);
+                                  });
+                 });
+  EXPECT_EQ(chained_waves.get_future().get(), 64u);
+  serving.drain();
+  EXPECT_EQ(serving.stats().hits + serving.stats().misses, 2u);
+}
+
+/// The TSan target of the cache work: many producers hammering a session
+/// whose cache holds a single entry, so every other request evicts the
+/// program another request may be executing right now. Refcounting must
+/// keep every in-flight run on its own live program.
+TEST(serving_session, eviction_races_in_flight_requests) {
+  engine::parallel_executor executor{4};
+  engine::serving_session serving{executor, {}, {.max_entries = 1}, 2};
+
+  struct workload {
+    mig_network net;
+    engine::wave_batch batch;
+    std::vector<std::uint64_t> want;
+  };
+  std::vector<workload> workloads;
+  for (const auto& net : {gen::ripple_adder_circuit(4), gen::multiplier_circuit(3),
+                          gen::parity_circuit(9)}) {
+    auto batch = batch_for(net, 150, net.num_pis());
+    auto want = packed_reference(net, batch, 3).words;
+    workloads.push_back({net, std::move(batch), std::move(want)});
+  }
+
+  constexpr int per_thread = 9;
+  std::atomic<int> mismatches{0};
+  const auto hammer = [&](unsigned offset) {
+    std::vector<std::future<engine::packed_wave_result>> futures;
+    for (int i = 0; i < per_thread; ++i) {
+      const auto& w = workloads[(offset + i) % workloads.size()];
+      futures.push_back(serving.submit(w.net, w.batch, 3));
+    }
+    for (int i = 0; i < per_thread; ++i) {
+      const auto& w = workloads[(offset + i) % workloads.size()];
+      if (futures[i].get().words != w.want) {
+        mismatches.fetch_add(1);
+      }
+    }
+  };
+  std::thread t0{[&] { hammer(0); }};
+  std::thread t1{[&] { hammer(1); }};
+  std::thread t2{[&] { hammer(2); }};
+  t0.join();
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto stats = serving.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 3u * per_thread);
+  EXPECT_LE(stats.entries, 1u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace wavemig
