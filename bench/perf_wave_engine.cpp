@@ -136,6 +136,80 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+/// Repeats `fn` (one pass over `waves_per_pass` waves) until enough wall
+/// time accumulated for a stable rate, and returns waves per second.
+template <typename Fn>
+double measure_wps(std::size_t waves_per_pass, Fn&& fn) {
+  fn();  // warm-up: scratch allocation, cache residency
+  std::size_t passes = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++passes;
+    elapsed = seconds_since(start);
+  } while (elapsed < 0.2);
+  return static_cast<double>(passes * waves_per_pass) / elapsed;
+}
+
+/// Steady-state kernel comparison on one netlist: the single-word (W = 1)
+/// kernel driven chunk by chunk — the engine's former hot path — against
+/// the multi-word blocked kernel, at optimizer levels 0 and 2. All
+/// variants are verified bit-identical before anything is reported.
+struct kernel_sweep_result {
+  double w1_wps{0.0};
+  double block_wps{0.0};
+  double block_opt2_wps{0.0};
+  std::size_t ops[3]{};    // comb ops at opt level 0/1/2
+  std::size_t slots[3]{};  // comb slots at opt level 0/1/2
+};
+
+kernel_sweep_result kernel_sweep(const mig_network& balanced_net, const level_map& schedule,
+                                 const engine::wave_batch& batch) {
+  kernel_sweep_result r;
+  const engine::compiled_netlist programs[3] = {
+      engine::compiled_netlist{balanced_net, schedule, {.opt_level = 0}},
+      engine::compiled_netlist{balanced_net, schedule, {.opt_level = 1}},
+      engine::compiled_netlist{balanced_net, schedule, {.opt_level = 2}}};
+  for (int level = 0; level < 3; ++level) {
+    r.ops[level] = programs[level].num_comb_ops();
+    r.slots[level] = programs[level].comb_slot_count();
+  }
+  const auto& opt0 = programs[0];
+  const auto& opt2 = programs[2];
+  const std::size_t num_chunks = batch.num_chunks();
+  const std::size_t num_pos = opt0.num_pos();
+
+  std::vector<std::uint64_t> out(num_chunks * num_pos);
+  std::vector<std::uint64_t> scratch;
+
+  const auto single_word_pass = [&](const engine::compiled_netlist& net) {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      engine::eval_packed_chunk(net, batch.chunk_words(c), out.data() + c * num_pos,
+                                scratch);
+    }
+  };
+  const auto block_pass = [&](const engine::compiled_netlist& net) {
+    engine::eval_packed_block(net, batch.chunk_words(0), out.data(), num_chunks, scratch);
+  };
+
+  single_word_pass(opt0);
+  const auto reference = out;
+  for (const auto& net : programs) {
+    std::fill(out.begin(), out.end(), 0);
+    block_pass(net);
+    if (out != reference) {
+      std::fprintf(stderr, "FATAL: kernel variants disagree — bench is meaningless\n");
+      std::exit(2);
+    }
+  }
+
+  r.w1_wps = measure_wps(batch.num_waves(), [&] { single_word_pass(opt0); });
+  r.block_wps = measure_wps(batch.num_waves(), [&] { block_pass(opt0); });
+  r.block_opt2_wps = measure_wps(batch.num_waves(), [&] { block_pass(opt2); });
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,6 +274,45 @@ int main(int argc, char** argv) {
       seed_run.outputs != steady_run.unpack()) {
     std::fprintf(stderr, "FATAL: paths disagree — benchmark results are meaningless\n");
     return 2;
+  }
+
+  // --- kernel width x optimizer steady-state sweep --------------------------
+  // The acceptance benchmark of the multi-word kernel + optimizer PR: on
+  // each netlist, the single-word (W = 1) kernel — the engine's former hot
+  // path — against the blocked multi-word kernel (AVX2-dispatched where
+  // built) at optimizer levels 0 and 2. Two shapes: the balanced adder
+  // (deep, few POs) and a large random MIG (wide, optimizer-friendly).
+  const std::size_t kernel_waves = std::max<std::size_t>(num_waves, 8192);
+  const auto kernel_batch = [&](const mig_network& circuit, std::uint64_t seed) {
+    std::mt19937_64 batch_rng{seed};
+    engine::wave_batch b{circuit.num_pis()};
+    b.reserve(kernel_waves);
+    std::vector<bool> wave(circuit.num_pis());
+    for (std::size_t w = 0; w < kernel_waves; ++w) {
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        wave[i] = (batch_rng() & 1u) != 0;
+      }
+      b.append(wave);
+    }
+    return b;
+  };
+
+  const auto mig_balanced = insert_buffers(gen::random_mig({64, 4000, 0.5, 32, 777}));
+  struct kernel_case {
+    const char* name;
+    const mig_network& net;
+    const level_map& schedule;
+    kernel_sweep_result sweep;
+  };
+  kernel_case kernel_cases[] = {
+      {"adder64", net, balanced.schedule, {}},
+      {"mig4k", mig_balanced.net, mig_balanced.schedule, {}},
+  };
+  double best_kernel_speedup = 0.0;
+  for (auto& k : kernel_cases) {
+    k.sweep = kernel_sweep(k.net, k.schedule, kernel_batch(k.net, 4242));
+    best_kernel_speedup =
+        std::max(best_kernel_speedup, k.sweep.block_opt2_wps / k.sweep.w1_wps);
   }
 
   // --- parallel sharded execution (thread-scaling sweep) --------------------
@@ -363,6 +476,26 @@ int main(int argc, char** argv) {
     bench::json_record("perf_wave_engine", "engine_packed_steady_speedup", steady_speedup);
     bench::json_record("perf_wave_engine", "hardware_concurrency",
                        static_cast<double>(hw_threads));
+    for (const auto& k : kernel_cases) {
+      const std::string prefix = std::string{"kernel_"} + k.name;
+      bench::json_record("perf_wave_engine", prefix + "_w1_waves_per_s", k.sweep.w1_wps);
+      bench::json_record("perf_wave_engine", prefix + "_block_waves_per_s",
+                         k.sweep.block_wps);
+      bench::json_record("perf_wave_engine", prefix + "_block_opt2_waves_per_s",
+                         k.sweep.block_opt2_wps);
+      bench::json_record("perf_wave_engine", prefix + "_speedup_vs_w1",
+                         k.sweep.block_opt2_wps / k.sweep.w1_wps);
+      for (int level = 0; level < 3; ++level) {
+        bench::json_record("perf_wave_engine",
+                           prefix + "_comb_ops_opt" + std::to_string(level),
+                           static_cast<double>(k.sweep.ops[level]));
+        bench::json_record("perf_wave_engine",
+                           prefix + "_comb_slots_opt" + std::to_string(level),
+                           static_cast<double>(k.sweep.slots[level]));
+      }
+    }
+    bench::json_record("perf_wave_engine", "kernel_best_speedup_vs_w1",
+                       best_kernel_speedup);
     for (std::size_t i = 0; i < thread_counts.size(); ++i) {
       bench::json_record("perf_wave_engine",
                          "engine_parallel_waves_per_s_t" + std::to_string(thread_counts[i]),
@@ -394,6 +527,22 @@ int main(int argc, char** argv) {
                 bench::fmt(steady_s, 4).c_str(), bench::fmt(steady_wps).c_str(),
                 bench::fmt(steady_speedup).c_str());
 
+    std::printf("\nkernel width x optimizer steady-state sweep — %zu waves\n", kernel_waves);
+    std::printf("%-10s %14s %14s %14s %10s %18s\n", "netlist", "W=1 waves/s",
+                "block waves/s", "block+opt2", "speedup", "ops 0/1/2");
+    bench::print_rule('-', 92);
+    for (const auto& k : kernel_cases) {
+      char ops[64];
+      std::snprintf(ops, sizeof(ops), "%zu/%zu/%zu", k.sweep.ops[0], k.sweep.ops[1],
+                    k.sweep.ops[2]);
+      std::printf("%-10s %14s %14s %14s %9sx %18s\n", k.name,
+                  bench::fmt(k.sweep.w1_wps).c_str(), bench::fmt(k.sweep.block_wps).c_str(),
+                  bench::fmt(k.sweep.block_opt2_wps).c_str(),
+                  bench::fmt(k.sweep.block_opt2_wps / k.sweep.w1_wps).c_str(), ops);
+      std::printf("%-10s %60s slots 0/2: %zu -> %zu\n", "", "", k.sweep.slots[0],
+                  k.sweep.slots[2]);
+    }
+
     std::printf("\nparallel thread-scaling sweep — %zu waves (%zu chunks), %u hardware "
                 "thread(s)\n",
                 sweep_waves, (sweep_waves + 63) / 64, hw_threads);
@@ -420,7 +569,10 @@ int main(int argc, char** argv) {
     std::printf("\nacceptance: packed >= 10x over seed scalar: %s (%sx)\n",
                 packed_speedup >= 10.0 ? "PASS" : "FAIL",
                 bench::fmt(packed_speedup).c_str());
+    std::printf("acceptance: blocked kernel >= 2x over single-word kernel: %s (%sx)\n",
+                best_kernel_speedup >= 2.0 ? "PASS" : "FAIL",
+                bench::fmt(best_kernel_speedup).c_str());
   }
 
-  return packed_speedup >= 10.0 ? 0 : 1;
+  return packed_speedup >= 10.0 && best_kernel_speedup >= 2.0 ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "wavemig/engine/optimizer.hpp"
 #include "wavemig/levels.hpp"
 #include "wavemig/mig.hpp"
 
@@ -56,18 +57,19 @@ public:
   };
 
   /// Compiles against the network's ASAP levels.
-  explicit compiled_netlist(const mig_network& net);
+  explicit compiled_netlist(const mig_network& net, compile_options options = {});
 
   /// Compiles against an explicit clock schedule (required for
   /// tolerance-balanced netlists; see buffer_insertion_options::tolerance).
   /// Throws std::invalid_argument if the schedule does not match the network.
-  compiled_netlist(const mig_network& net, const level_map& schedule);
+  compiled_netlist(const mig_network& net, const level_map& schedule,
+                   compile_options options = {});
 
   /// Compiles only the combinational program — no level computation, no
   /// tick program, no coherence metadata (wave_coherent is always false).
   /// The cheap lowering for purely combinational consumers
   /// (simulate_words & friends).
-  static compiled_netlist comb_only(const mig_network& net);
+  static compiled_netlist comb_only(const mig_network& net, compile_options options = {});
 
   /// @name Interface shape
   /// @{
@@ -78,8 +80,18 @@ public:
   [[nodiscard]] std::size_t memory_bytes() const;
   [[nodiscard]] std::size_t num_pis() const { return num_pis_; }
   [[nodiscard]] std::size_t num_pos() const { return num_pos_; }
-  /// Majority operations in the combinational program.
+  /// Majority operations in the combinational program (after optimization).
   [[nodiscard]] std::size_t num_comb_ops() const { return comb_ops_.size(); }
+  /// Value slots of the combinational program: 1 (constant) + PIs + gate
+  /// slots. This is the scratch working set of the packed kernel, per word
+  /// of kernel width; slot recycling (opt level >= 2) shrinks it to peak
+  /// liveness.
+  [[nodiscard]] std::size_t comb_slot_count() const { return comb_slot_count_; }
+  /// The options this program was compiled with.
+  [[nodiscard]] compile_options options() const { return options_; }
+  /// What the optimizer did (all zeros at opt level 0, where `*_before`
+  /// still describes the raw lowering).
+  [[nodiscard]] const optimizer_stats& opt_stats() const { return opt_stats_; }
   /// Physical components in the tick program.
   [[nodiscard]] std::size_t num_tick_ops() const { return tick_ops_.size(); }
   /// Scheduled depth (max level over all primary-output drivers).
@@ -131,9 +143,28 @@ public:
 
   /// Bit-parallel evaluation of 64 input patterns: `pi_words[i]` packs 64
   /// values of PI i, one output word per PO is appended to `po_words`.
-  /// `slots` is reusable scratch — the hot path of the packed wave engine.
+  /// `slots` is reusable scratch — the single-word (W=1) form of the packed
+  /// kernel.
   void eval_words_into(const std::uint64_t* pi_words, std::uint64_t* po_words,
                        std::vector<std::uint64_t>& slots) const;
+
+  /// Word-blocks the multi-word kernel evaluates per pass: up to 8 chunks
+  /// (512 waves) flow through the program together, so each op's three
+  /// loads and one store amortize over 8 words — the software analogue of
+  /// widening the datapath.
+  static constexpr std::size_t max_block_chunks = 8;
+
+  /// Multi-word generalization of `eval_words_into`: evaluates `num_chunks`
+  /// consecutive 64-wave chunks in word-blocks of up to `max_block_chunks`.
+  /// Input/output layout is chunk-major, exactly like `wave_batch` /
+  /// `packed_wave_result`: chunk c's inputs at `pi_words + c * num_pis()`,
+  /// its outputs at `po_words + c * num_pos()`. Uses unrolled portable
+  /// kernels for W = 4 and W = 8, or the runtime-dispatched AVX2 path when
+  /// the library was built with WAVEMIG_ENABLE_AVX2 and the CPU supports
+  /// it. `slots` is reusable scratch; results are bit-identical to calling
+  /// `eval_words_into` once per chunk.
+  void eval_words_block(const std::uint64_t* pi_words, std::uint64_t* po_words,
+                        std::size_t num_chunks, std::vector<std::uint64_t>& slots) const;
 
   /// Convenience wrapper; validates the input width.
   [[nodiscard]] std::vector<std::uint64_t> eval_words(
@@ -170,6 +201,12 @@ private:
   /// coherence metadata (comb_only mode).
   void lower(const mig_network& net, const level_map* schedule);
 
+  /// Runs the post-lowering optimizer over the combinational program
+  /// (optimizer.cpp). Fills opt_stats_; a no-op at opt level 0.
+  void optimize(unsigned opt_level);
+
+  compile_options options_{};
+  optimizer_stats opt_stats_{};
   std::uint32_t num_pis_{0};
   std::uint32_t num_pos_{0};
   std::uint32_t depth_{0};

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wavemig::engine {
+
+/// Knobs of the compiled-program optimizer that runs after lowering (see
+/// compiled_netlist). Every level produces a program that is bit-identical
+/// in its primary outputs — the optimizer only touches the combinational
+/// program, never the cycle-accurate tick program — so the level is a pure
+/// compile-time / memory / throughput trade-off:
+///
+/// * `0` — raw lowering, exactly the ops the network dictates (one majority
+///   op per majority node, buffers folded by reference forwarding).
+/// * `1` — constant propagation through majority gates (M(x,x,y)=x,
+///   M(x,!x,y)=y, and their constant instances), structural hashing /
+///   common-subexpression elimination under majority self-duality
+///   (M(!a,!b,!c) = !M(a,b,c)), and dead-op elimination from the
+///   primary-output cone. Shrinks the op count.
+/// * `2` — level 1 plus liveness-based slot recycling: a linear scan
+///   reassigns op target slots from a free list, so the scratch working set
+///   shrinks from one slot per gate to the program's peak liveness. This is
+///   what keeps the multi-word packed kernel cache-resident on big MIGs.
+struct compile_options {
+  unsigned opt_level{0};
+};
+
+/// What the optimizer did to one compiled program. `ops_before/after` and
+/// `slots_before/after` are the headline numbers (`*_before` describes the
+/// raw lowering); the pass counters attribute the op shrinkage.
+/// `peak_live_slots` is only filled by the slot-recycling pass (opt level
+/// >= 2): the maximum number of gate values simultaneously live, which is
+/// exactly `slots_after` minus the fixed constant/PI slots.
+struct optimizer_stats {
+  std::size_t ops_before{0};
+  std::size_t ops_after{0};
+  std::size_t slots_before{0};
+  std::size_t slots_after{0};
+  std::size_t constants_folded{0};
+  std::size_t cse_hits{0};
+  std::size_t dead_ops_removed{0};
+  std::size_t peak_live_slots{0};
+};
+
+}  // namespace wavemig::engine

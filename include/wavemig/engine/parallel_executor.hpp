@@ -78,24 +78,31 @@ private:
 };
 
 /// Sharded packed execution: identical contract and bit-identical result
-/// words to `run_waves_packed`, with the batch's 64-wave chunks distributed
-/// across the executor's workers. Chunks are independent (wave coherence
-/// makes every chunk a pure function of its inputs), and each chunk writes
-/// a disjoint slice of the chunk-major result, so assembly is deterministic
-/// regardless of completion order.
+/// words to `run_waves_packed`, with the batch distributed across the
+/// executor's workers in multi-chunk blocks. The block size adapts to the
+/// batch: up to compiled_netlist::max_block_chunks chunks per task on big
+/// batches (full multi-word kernel width, amortized dispatch), shrinking
+/// toward one chunk per task when the batch is too small to feed every
+/// worker at full width. Blocks are independent (wave coherence makes
+/// every chunk a pure function of its inputs), and each block writes a
+/// disjoint slice of the chunk-major result, so assembly is deterministic
+/// regardless of completion order — and identical at every block size.
 packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_batch& waves,
                                       unsigned phases, parallel_executor& executor);
 
 /// Streaming front-end over the sharded engine: like `wave_stream`, but a
-/// chunk is dispatched to the pool the moment it fills, so evaluation
-/// overlaps with wave arrival and with other streams sharing the executor.
-/// Results are assembled chunk-major in push order — bit-identical to the
-/// single-threaded packed path.
+/// multi-chunk block (`block_waves` waves) is dispatched to the pool the
+/// moment it fills, so evaluation overlaps with wave arrival and with other
+/// streams sharing the executor, and each pool task runs the multi-word
+/// kernel at full width. Results are assembled chunk-major in push order —
+/// bit-identical to the single-threaded packed path.
 ///
 /// push/finish must be called from one thread (the stream owner); the
 /// executor may be shared with any number of other streams and sessions.
 class parallel_wave_stream {
 public:
+  /// Waves per dispatched block: one full pass of the multi-word kernel.
+  static constexpr std::size_t block_waves = 64 * compiled_netlist::max_block_chunks;
   /// The compiled netlist and the executor must outlive the stream. Throws
   /// std::invalid_argument when the netlist is not wave-coherent under
   /// `phases` or `phases == 0`.
@@ -106,38 +113,38 @@ public:
   parallel_wave_stream(const parallel_wave_stream&) = delete;
   parallel_wave_stream& operator=(const parallel_wave_stream&) = delete;
 
-  /// Enqueues one wave; dispatches a chunk to the workers once 64 are
-  /// pending.
+  /// Enqueues one wave; dispatches a block to the workers once
+  /// `block_waves` are pending.
   void push(const std::vector<bool>& wave);
 
   [[nodiscard]] std::size_t waves_pushed() const { return pushed_; }
-  /// Waves whose chunk a worker has already evaluated. Trails
-  /// `waves_pushed()` while chunks are in flight.
+  /// Waves whose block a worker has already evaluated. Trails
+  /// `waves_pushed()` while blocks are in flight.
   [[nodiscard]] std::size_t waves_completed() const {
     return completed_.load(std::memory_order_relaxed);
   }
 
-  /// Dispatches any pending partial chunk, waits for all in-flight chunks,
+  /// Dispatches any pending partial block, waits for all in-flight blocks,
   /// and returns the accumulated result for every pushed wave. The stream
   /// is reusable afterwards (resets).
   packed_wave_result finish();
 
 private:
-  struct chunk_job {
+  struct block_job {
     wave_batch inputs;
     std::vector<std::uint64_t> out;
-    chunk_job(wave_batch batch, std::size_t num_pos)
-        : inputs{std::move(batch)}, out(num_pos) {}
+    block_job(wave_batch batch, std::size_t num_pos)
+        : inputs{std::move(batch)}, out(inputs.num_chunks() * num_pos) {}
   };
 
-  void dispatch_chunk();
+  void dispatch_block();
   void wait_in_flight();
 
   const compiled_netlist& net_;
   unsigned phases_;
   parallel_executor& executor_;
   wave_batch pending_;
-  std::deque<chunk_job> jobs_;  // deque: stable addresses for in-flight jobs
+  std::deque<block_job> jobs_;  // deque: stable addresses for in-flight jobs
   std::size_t pushed_{0};
   std::atomic<std::size_t> completed_{0};
   mutable std::mutex mutex_;
@@ -167,14 +174,20 @@ struct cache_limits {
 
 /// Point-in-time counters of a session's compiled-netlist cache. `hits` /
 /// `misses` / `evictions` are monotonic over the session's lifetime;
-/// `entries` / `bytes` describe what is resident right now (`bytes` never
-/// exceeds `cache_limits::max_bytes` when that bound is set).
+/// `entries` / `bytes` / `comb_ops` / `comb_slots` describe what is
+/// resident right now (`bytes` never exceeds `cache_limits::max_bytes` when
+/// that bound is set). The op/slot totals are summed over the resident
+/// compiled programs — with the optimizer on (compile_options::opt_level),
+/// they are what the session actually executes and keeps hot, not what the
+/// raw networks dictate.
 struct session_stats {
   std::uint64_t hits{0};
   std::uint64_t misses{0};
   std::uint64_t evictions{0};
   std::size_t entries{0};
   std::size_t bytes{0};
+  std::size_t comb_ops{0};
+  std::size_t comb_slots{0};
 };
 
 /// Serving-style compiled-netlist cache: the first batch against a network
@@ -201,8 +214,12 @@ struct session_stats {
 /// that stays valid if lowering ever becomes phase-specialized.
 class batch_session {
 public:
+  /// `compile` controls the post-lowering optimizer every cached program is
+  /// built with (see engine/optimizer.hpp); results are bit-identical at
+  /// every level, so serving sessions can default to the highest one.
   explicit batch_session(parallel_executor& executor,
-                         buffer_insertion_options options = {}, cache_limits limits = {});
+                         buffer_insertion_options options = {}, cache_limits limits = {},
+                         compile_options compile = {});
 
   /// Balances + compiles `net` on first sight (cache miss), then evaluates
   /// the batch on the executor. The returned words are bit-identical to
@@ -243,6 +260,7 @@ private:
   parallel_executor& executor_;
   buffer_insertion_options options_;
   cache_limits limits_;
+  compile_options compile_options_;
   mutable std::mutex mutex_;
   std::list<cache_key> lru_;  // front = most recently used
   std::unordered_map<cache_key, cache_entry, cache_key_hash> cache_;

@@ -54,9 +54,11 @@ public:
   /// The executor must outlive the session. `dispatchers == 0` resolves to
   /// 2 — enough to overlap one request's compile (cache miss) with another
   /// request's evaluation; raise it for workloads dominated by misses.
+  /// `compile` selects the optimizer level every cached program is built
+  /// with (bit-identical outputs at every level; see engine/optimizer.hpp).
   explicit serving_session(parallel_executor& executor,
                            buffer_insertion_options options = {}, cache_limits limits = {},
-                           unsigned dispatchers = 0);
+                           unsigned dispatchers = 0, compile_options compile = {});
   ~serving_session();
 
   serving_session(const serving_session&) = delete;

@@ -24,6 +24,26 @@ public:
   /// width mismatch.
   void append(const std::vector<bool>& wave);
 
+  /// Bulk-appends `num_waves` already packed waves, so producers that hold
+  /// packed words (a previous result, a wire format, another batch) skip
+  /// the per-bool packing entirely. `words` uses this class's chunk-major
+  /// layout: ceil(num_waves / 64) chunks of `num_pis` words each, wave w at
+  /// bit w % 64 of chunk w / 64. Bits above `num_waves` in the last chunk
+  /// are ignored. When the batch holds a multiple of 64 waves the copy is
+  /// word-aligned; otherwise each word is spliced with two shifts — never
+  /// bit by bit.
+  void append_words(const std::uint64_t* words, std::size_t num_waves);
+
+  /// Drops all waves but keeps the word storage for reuse (the allocation
+  /// amortizer of wave_stream's flush path).
+  void clear() {
+    num_waves_ = 0;
+    words_.clear();
+  }
+
+  /// Pre-allocates storage for `num_waves` waves.
+  void reserve(std::size_t num_waves) { words_.reserve(((num_waves + 63) / 64) * num_pis_); }
+
   [[nodiscard]] bool input(std::size_t wave, std::size_t pi) const {
     const std::uint64_t word = words_[(wave / 64) * num_pis_ + pi];
     return ((word >> (wave % 64)) & 1u) != 0;
@@ -60,7 +80,9 @@ struct packed_wave_result {
     return ((word >> (wave % 64)) & 1u) != 0;
   }
 
-  /// Unpacks into the per-wave bool layout of wave_run_result::outputs.
+  /// Unpacks into the per-wave bool layout of wave_run_result::outputs —
+  /// a word-at-a-time transpose (each packed word is loaded once and its
+  /// 64 lanes distributed), not a per-(wave, output) bit probe.
   [[nodiscard]] std::vector<std::vector<bool>> unpack() const;
 };
 
@@ -100,6 +122,16 @@ void fill_packed_clock_metrics(packed_wave_result& result, const compiled_netlis
 void eval_packed_chunk(const compiled_netlist& net, const std::uint64_t* chunk_words,
                        std::uint64_t* out_words, std::vector<std::uint64_t>& scratch);
 
+/// Evaluates `num_chunks` consecutive chunks through the multi-word kernel
+/// (blocks of up to compiled_netlist::max_block_chunks chunks per pass,
+/// AVX2-dispatched when available). Layout is chunk-major on both sides,
+/// exactly `num_chunks` adjacent chunks of a wave_batch / packed result.
+/// Bit-identical to `eval_packed_chunk` per chunk; this is the kernel every
+/// packed front-end shards by.
+void eval_packed_block(const compiled_netlist& net, const std::uint64_t* chunk_words,
+                       std::uint64_t* out_words, std::size_t num_chunks,
+                       std::vector<std::uint64_t>& scratch);
+
 /// @}
 
 /// Packed wave-pipelined execution: 64 independent waves per 64-bit word
@@ -113,32 +145,40 @@ packed_wave_result run_waves_packed(const compiled_netlist& net, const wave_batc
                                     unsigned phases);
 
 /// Streaming front-end over the packed engine for workloads whose waves
-/// arrive incrementally: waves are accumulated into 64-wave chunks and each
-/// full chunk is evaluated immediately with reusable scratch, so memory
-/// stays constant regardless of stream length.
+/// arrive incrementally: waves accumulate into a multi-chunk block
+/// (`block_waves` = 512 at the default kernel width) that is evaluated in
+/// one multi-word pass the moment it fills, with the pending storage and
+/// scratch reused across blocks, so memory stays constant regardless of
+/// stream length.
 class wave_stream {
 public:
-  /// The compiled netlist must outlive the stream. Throws
-  /// std::invalid_argument when the netlist is not wave-coherent under
-  /// `phases` or `phases == 0`.
-  wave_stream(const compiled_netlist& net, unsigned phases);
+  /// Waves per evaluated block: one full pass of the multi-word kernel.
+  static constexpr std::size_t block_waves = 64 * compiled_netlist::max_block_chunks;
 
-  /// Enqueues one wave; evaluates transparently once 64 are pending.
+  /// The compiled netlist must outlive the stream. `expected_waves` is an
+  /// optional capacity hint: when the producer knows (roughly) how many
+  /// waves it will push, the result storage is reserved once at the first
+  /// flush instead of growing block by block. Throws std::invalid_argument
+  /// when the netlist is not wave-coherent under `phases` or `phases == 0`.
+  wave_stream(const compiled_netlist& net, unsigned phases, std::size_t expected_waves = 0);
+
+  /// Enqueues one wave; evaluates transparently once a block is pending.
   void push(const std::vector<bool>& wave);
 
   [[nodiscard]] std::size_t waves_pushed() const { return pushed_; }
   /// Waves whose outputs are already available in the result.
   [[nodiscard]] std::size_t waves_completed() const { return completed_; }
 
-  /// Flushes any pending partial chunk and returns the accumulated result
+  /// Flushes any pending partial block and returns the accumulated result
   /// for every pushed wave. The stream is reusable afterwards (resets).
   packed_wave_result finish();
 
 private:
-  void flush_chunk();
+  void flush_pending();
 
   const compiled_netlist& net_;
   unsigned phases_;
+  std::size_t expected_waves_;
   wave_batch pending_;
   packed_wave_result result_;
   std::vector<std::uint64_t> scratch_;

@@ -4,21 +4,28 @@
 #include <limits>
 #include <stdexcept>
 
+#include "packed_kernel.hpp"
+
 namespace wavemig::engine {
 
-compiled_netlist::compiled_netlist(const mig_network& net)
-    : compiled_netlist{net, compute_levels(net)} {}
+compiled_netlist::compiled_netlist(const mig_network& net, compile_options options)
+    : compiled_netlist{net, compute_levels(net), options} {}
 
-compiled_netlist::compiled_netlist(const mig_network& net, const level_map& schedule) {
+compiled_netlist::compiled_netlist(const mig_network& net, const level_map& schedule,
+                                   compile_options options) {
   if (schedule.level.size() != net.num_nodes()) {
     throw std::invalid_argument{"compiled_netlist: schedule does not match the network"};
   }
+  options_ = options;
   lower(net, &schedule);
+  optimize(options.opt_level);
 }
 
-compiled_netlist compiled_netlist::comb_only(const mig_network& net) {
+compiled_netlist compiled_netlist::comb_only(const mig_network& net, compile_options options) {
   compiled_netlist compiled;
+  compiled.options_ = options;
   compiled.lower(net, nullptr);
+  compiled.optimize(options.opt_level);
   return compiled;
 }
 
@@ -136,15 +143,80 @@ void compiled_netlist::eval_words_into(const std::uint64_t* pi_words, std::uint6
   slots.resize(comb_slot_count_);
   slots[0] = 0;
   std::copy(pi_words, pi_words + num_pis_, slots.begin() + 1);
-  for (const auto& o : comb_ops_) {
-    const std::uint64_t a = slots[o.a >> 1] ^ complement_mask(o.a);
-    const std::uint64_t b = slots[o.b >> 1] ^ complement_mask(o.b);
-    const std::uint64_t c = slots[o.c >> 1] ^ complement_mask(o.c);
-    slots[o.target] = (a & b) | (b & c) | (a & c);
-  }
+  detail::eval_ops_portable<1>(comb_ops_.data(), comb_ops_.size(), slots.data());
   for (std::size_t p = 0; p < num_pos_; ++p) {
     const slot_ref ref = comb_po_refs_[p];
     po_words[p] = slots[ref >> 1] ^ complement_mask(ref);
+  }
+}
+
+void compiled_netlist::eval_words_block(const std::uint64_t* pi_words,
+                                        std::uint64_t* po_words, std::size_t num_chunks,
+                                        std::vector<std::uint64_t>& slots) const {
+  for (std::size_t done = 0; done < num_chunks;) {
+    const std::size_t w = std::min(max_block_chunks, num_chunks - done);
+    const std::uint64_t* pi = pi_words + done * num_pis_;
+    std::uint64_t* po = po_words + done * num_pos_;
+
+    // Slot-major W-word blocks: slot s occupies slots[s*w .. s*w + w).
+    slots.resize(static_cast<std::size_t>(comb_slot_count_) * w);
+    std::uint64_t* s = slots.data();
+    std::fill(s, s + w, 0);  // constant slot
+    for (std::size_t i = 0; i < num_pis_; ++i) {
+      std::uint64_t* pi_slot = s + (1 + i) * w;
+      for (std::size_t j = 0; j < w; ++j) {
+        pi_slot[j] = pi[j * num_pis_ + i];  // transpose chunk-major -> slot-major
+      }
+    }
+
+    switch (w) {
+      case 8:
+#if defined(WAVEMIG_HAVE_AVX2)
+        if (detail::avx2_supported()) {
+          detail::eval_ops_avx2_w8(comb_ops_.data(), comb_ops_.size(), s);
+          break;
+        }
+#endif
+        detail::eval_ops_portable<8>(comb_ops_.data(), comb_ops_.size(), s);
+        break;
+      case 4:
+#if defined(WAVEMIG_HAVE_AVX2)
+        if (detail::avx2_supported()) {
+          detail::eval_ops_avx2_w4(comb_ops_.data(), comb_ops_.size(), s);
+          break;
+        }
+#endif
+        detail::eval_ops_portable<4>(comb_ops_.data(), comb_ops_.size(), s);
+        break;
+      case 7:
+        detail::eval_ops_portable<7>(comb_ops_.data(), comb_ops_.size(), s);
+        break;
+      case 6:
+        detail::eval_ops_portable<6>(comb_ops_.data(), comb_ops_.size(), s);
+        break;
+      case 5:
+        detail::eval_ops_portable<5>(comb_ops_.data(), comb_ops_.size(), s);
+        break;
+      case 3:
+        detail::eval_ops_portable<3>(comb_ops_.data(), comb_ops_.size(), s);
+        break;
+      case 2:
+        detail::eval_ops_portable<2>(comb_ops_.data(), comb_ops_.size(), s);
+        break;
+      default:
+        detail::eval_ops_portable<1>(comb_ops_.data(), comb_ops_.size(), s);
+        break;
+    }
+
+    for (std::size_t p = 0; p < num_pos_; ++p) {
+      const slot_ref ref = comb_po_refs_[p];
+      const std::uint64_t* out_slot = s + static_cast<std::size_t>(ref >> 1) * w;
+      const std::uint64_t mask = complement_mask(ref);
+      for (std::size_t j = 0; j < w; ++j) {
+        po[j * num_pos_ + p] = out_slot[j] ^ mask;  // back to chunk-major
+      }
+    }
+    done += w;
   }
 }
 

@@ -1,0 +1,71 @@
+// AVX2 instance of the multi-word packed kernel. This translation unit is
+// the only one compiled with -mavx2 (see the WAVEMIG_ENABLE_AVX2 option in
+// CMakeLists.txt); callers go through detail::avx2_supported() so the
+// library still runs on CPUs without AVX2. When the option is off the unit
+// compiles to nothing and the portable kernels serve every width.
+
+#if defined(WAVEMIG_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "packed_kernel.hpp"
+
+namespace wavemig::engine::detail {
+
+bool avx2_supported() {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+}
+
+namespace {
+
+/// Majority over three 256-bit lanes: (a & (b | c)) | (b & c).
+inline __m256i maj256(__m256i a, __m256i b, __m256i c) {
+  return _mm256_or_si256(_mm256_and_si256(a, _mm256_or_si256(b, c)),
+                         _mm256_and_si256(b, c));
+}
+
+inline __m256i load_xor(const std::uint64_t* p, __m256i mask) {
+  return _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)), mask);
+}
+
+}  // namespace
+
+void eval_ops_avx2_w4(const compiled_netlist::maj_op* ops, std::size_t num_ops,
+                      std::uint64_t* slots) {
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const auto& o = ops[i];
+    const __m256i a = load_xor(slots + static_cast<std::size_t>(o.a >> 1) * 4,
+                               _mm256_set1_epi64x(static_cast<long long>(complement_mask(o.a))));
+    const __m256i b = load_xor(slots + static_cast<std::size_t>(o.b >> 1) * 4,
+                               _mm256_set1_epi64x(static_cast<long long>(complement_mask(o.b))));
+    const __m256i c = load_xor(slots + static_cast<std::size_t>(o.c >> 1) * 4,
+                               _mm256_set1_epi64x(static_cast<long long>(complement_mask(o.c))));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(slots + static_cast<std::size_t>(o.target) * 4),
+        maj256(a, b, c));
+  }
+}
+
+void eval_ops_avx2_w8(const compiled_netlist::maj_op* ops, std::size_t num_ops,
+                      std::uint64_t* slots) {
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const auto& o = ops[i];
+    const std::uint64_t* pa = slots + static_cast<std::size_t>(o.a >> 1) * 8;
+    const std::uint64_t* pb = slots + static_cast<std::size_t>(o.b >> 1) * 8;
+    const std::uint64_t* pc = slots + static_cast<std::size_t>(o.c >> 1) * 8;
+    std::uint64_t* pt = slots + static_cast<std::size_t>(o.target) * 8;
+    const __m256i ma = _mm256_set1_epi64x(static_cast<long long>(complement_mask(o.a)));
+    const __m256i mb = _mm256_set1_epi64x(static_cast<long long>(complement_mask(o.b)));
+    const __m256i mc = _mm256_set1_epi64x(static_cast<long long>(complement_mask(o.c)));
+    const __m256i lo = maj256(load_xor(pa, ma), load_xor(pb, mb), load_xor(pc, mc));
+    const __m256i hi =
+        maj256(load_xor(pa + 4, ma), load_xor(pb + 4, mb), load_xor(pc + 4, mc));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(pt), lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(pt + 4), hi);
+  }
+}
+
+}  // namespace wavemig::engine::detail
+
+#endif  // WAVEMIG_HAVE_AVX2

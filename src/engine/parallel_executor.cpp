@@ -115,10 +115,25 @@ packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_ba
   fill_packed_clock_metrics(result, net, phases, waves.num_waves());
   result.words.resize(waves.num_chunks() * net.num_pos());
 
-  // One task per 64-wave chunk; every chunk writes a disjoint slice of the
-  // chunk-major result, so the assembly is deterministic by construction.
-  executor.for_each(waves.num_chunks(), [&](std::size_t c, unsigned worker) {
-    eval_packed_chunk(net, waves.chunk_words(c), result.words.data() + c * net.num_pos(),
+  // One task per multi-chunk block (not per chunk): the multi-word kernel
+  // runs at full width inside every task and dispatch overhead amortizes
+  // over the block. The block size adapts so small batches still fan out —
+  // at least two tasks per worker where possible (parallelism beats kernel
+  // width when the batch cannot feed both), growing to max_block_chunks
+  // once the batch is large enough to keep every worker busy at full
+  // width. Every block writes a disjoint slice of the chunk-major result,
+  // so the assembly is deterministic by construction — and the result words
+  // are identical at every block size.
+  const std::size_t num_chunks = waves.num_chunks();
+  const std::size_t threads = std::max(1u, executor.num_threads());
+  const std::size_t block = std::clamp<std::size_t>(num_chunks / (2 * threads), 1,
+                                                    compiled_netlist::max_block_chunks);
+  const std::size_t num_blocks = (num_chunks + block - 1) / block;
+  executor.for_each(num_blocks, [&](std::size_t b, unsigned worker) {
+    const std::size_t first = b * block;
+    const std::size_t count = std::min(block, num_chunks - first);
+    eval_packed_block(net, waves.chunk_words(first),
+                      result.words.data() + first * net.num_pos(), count,
                       executor.scratch(worker));
   });
   return result;
@@ -130,32 +145,34 @@ parallel_wave_stream::parallel_wave_stream(const compiled_netlist& net, unsigned
                                            parallel_executor& executor)
     : net_{net}, phases_{phases}, executor_{executor}, pending_{net.num_pis()} {
   validate_packed_run(net, net.num_pis(), phases, "parallel_wave_stream");
+  pending_.reserve(block_waves);
 }
 
 parallel_wave_stream::~parallel_wave_stream() {
-  // In-flight chunk tasks reference this stream's jobs; never die under them.
+  // In-flight block tasks reference this stream's jobs; never die under them.
   wait_in_flight();
 }
 
 void parallel_wave_stream::push(const std::vector<bool>& wave) {
   pending_.append(wave);  // validates the width
   ++pushed_;
-  if (pending_.num_waves() == 64) {
-    dispatch_chunk();
+  if (pending_.num_waves() == block_waves) {
+    dispatch_block();
   }
 }
 
-void parallel_wave_stream::dispatch_chunk() {
+void parallel_wave_stream::dispatch_block() {
   jobs_.emplace_back(std::move(pending_), net_.num_pos());
   pending_ = wave_batch{net_.num_pis()};
-  chunk_job* job = &jobs_.back();  // deque: stable across later push_backs
+  pending_.reserve(block_waves);
+  block_job* job = &jobs_.back();  // deque: stable across later push_backs
   {
     std::lock_guard<std::mutex> lock{mutex_};
     ++in_flight_;
   }
   executor_.submit([this, job](unsigned worker) {
-    eval_packed_chunk(net_, job->inputs.chunk_words(0), job->out.data(),
-                      executor_.scratch(worker));
+    eval_packed_block(net_, job->inputs.chunk_words(0), job->out.data(),
+                      job->inputs.num_chunks(), executor_.scratch(worker));
     completed_.fetch_add(job->inputs.num_waves(), std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock{mutex_};
     if (--in_flight_ == 0) {
@@ -171,7 +188,7 @@ void parallel_wave_stream::wait_in_flight() {
 
 packed_wave_result parallel_wave_stream::finish() {
   if (!pending_.empty()) {
-    dispatch_chunk();
+    dispatch_block();
   }
   wait_in_flight();
 
@@ -179,7 +196,7 @@ packed_wave_result parallel_wave_stream::finish() {
   result.num_pos = net_.num_pos();
   result.num_waves = pushed_;
   fill_packed_clock_metrics(result, net_, phases_, pushed_);
-  result.words.reserve(jobs_.size() * net_.num_pos());
+  result.words.reserve((pushed_ + 63) / 64 * net_.num_pos());
   for (const auto& job : jobs_) {
     result.words.insert(result.words.end(), job.out.begin(), job.out.end());
   }
@@ -227,8 +244,8 @@ std::size_t batch_session::cache_key_hash::operator()(const cache_key& k) const 
 }
 
 batch_session::batch_session(parallel_executor& executor, buffer_insertion_options options,
-                             cache_limits limits)
-    : executor_{executor}, options_{options}, limits_{limits} {}
+                             cache_limits limits, compile_options compile)
+    : executor_{executor}, options_{options}, limits_{limits}, compile_options_{compile} {}
 
 void batch_session::evict_to_limits() {
   while (!lru_.empty() &&
@@ -255,10 +272,11 @@ std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network
     }
   }
 
-  // Balance + lower outside the lock; a concurrent miss on the same key
-  // compiles the identical program and the first insert wins.
+  // Balance + lower + optimize outside the lock; a concurrent miss on the
+  // same key compiles the identical program and the first insert wins.
   const auto balanced = insert_buffers(net, options_);
-  auto fresh = std::make_shared<const compiled_netlist>(balanced.net, balanced.schedule);
+  auto fresh = std::make_shared<const compiled_netlist>(balanced.net, balanced.schedule,
+                                                        compile_options_);
 
   std::lock_guard<std::mutex> lock{mutex_};
   ++misses_;
@@ -287,7 +305,12 @@ packed_wave_result batch_session::run(const mig_network& net, const wave_batch& 
 
 session_stats batch_session::stats() const {
   std::lock_guard<std::mutex> lock{mutex_};
-  return {hits_, misses_, evictions_, cache_.size(), bytes_};
+  session_stats s{hits_, misses_, evictions_, cache_.size(), bytes_, 0, 0};
+  for (const auto& [key, entry] : cache_) {
+    s.comb_ops += entry.program->num_comb_ops();
+    s.comb_slots += entry.program->comb_slot_count();
+  }
+  return s;
 }
 
 std::size_t batch_session::cached_netlists() const {

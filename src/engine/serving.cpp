@@ -8,8 +8,8 @@ namespace wavemig::engine {
 
 serving_session::serving_session(parallel_executor& executor,
                                  buffer_insertion_options options, cache_limits limits,
-                                 unsigned dispatchers)
-    : session_{executor, options, limits} {
+                                 unsigned dispatchers, compile_options compile)
+    : session_{executor, options, limits, compile} {
   if (dispatchers == 0) {
     dispatchers = 2;
   }

@@ -66,6 +66,12 @@ void eval_packed_chunk(const compiled_netlist& net, const std::uint64_t* chunk_w
   net.eval_words_into(chunk_words, out_words, scratch);
 }
 
+void eval_packed_block(const compiled_netlist& net, const std::uint64_t* chunk_words,
+                       std::uint64_t* out_words, std::size_t num_chunks,
+                       std::vector<std::uint64_t>& scratch) {
+  net.eval_words_block(chunk_words, out_words, num_chunks, scratch);
+}
+
 void wave_batch::append(const std::vector<bool>& wave) {
   if (wave.size() != num_pis_) {
     throw std::invalid_argument{"wave_batch: each wave needs one value per primary input"};
@@ -81,9 +87,60 @@ void wave_batch::append(const std::vector<bool>& wave) {
   ++num_waves_;
 }
 
+void wave_batch::append_words(const std::uint64_t* words, std::size_t num_waves) {
+  if (num_waves == 0) {
+    return;
+  }
+  const std::size_t in_chunks = (num_waves + 63) / 64;
+  const std::size_t offset = num_waves_ % 64;
+  const std::size_t total = num_waves_ + num_waves;
+  words_.resize(((total + 63) / 64) * num_pis_, 0);
+
+  if (offset == 0) {
+    std::copy(words, words + in_chunks * num_pis_,
+              words_.begin() + static_cast<std::ptrdiff_t>((num_waves_ / 64) * num_pis_));
+    // Stray bits above num_waves in the caller's last chunk must not leak
+    // into waves appended later.
+    if (const std::size_t tail = num_waves % 64; tail != 0) {
+      const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+      std::uint64_t* last = words_.data() + (total / 64) * num_pis_;
+      for (std::size_t i = 0; i < num_pis_; ++i) {
+        last[i] &= mask;
+      }
+    }
+  } else {
+    // Unaligned: each incoming word splits into a low part spliced into the
+    // partially filled chunk and a high part carried into the next one —
+    // two shifts per word, never per-bit.
+    for (std::size_t c = 0; c < in_chunks; ++c) {
+      const std::uint64_t* in = words + c * num_pis_;
+      const std::size_t valid = std::min<std::size_t>(64, num_waves - c * 64);
+      const std::uint64_t valid_mask =
+          valid == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << valid) - 1;
+      const std::size_t base = num_waves_ + c * 64;
+      const std::size_t hi_chunk = base / 64 + 1;
+      std::uint64_t* lo = words_.data() + (base / 64) * num_pis_;
+      // When the spliced waves fit inside the low chunk no high chunk was
+      // allocated — and the carried bits are provably zero then.
+      std::uint64_t* hi = (hi_chunk + 1) * num_pis_ <= words_.size()
+                              ? words_.data() + hi_chunk * num_pis_
+                              : nullptr;
+      for (std::size_t i = 0; i < num_pis_; ++i) {
+        const std::uint64_t w = in[i] & valid_mask;
+        lo[i] |= w << offset;
+        if (hi != nullptr) {
+          hi[i] |= w >> (64 - offset);
+        }
+      }
+    }
+  }
+  num_waves_ = total;
+}
+
 wave_batch wave_batch::from_waves(const std::vector<std::vector<bool>>& waves,
                                   std::size_t num_pis) {
   wave_batch batch{num_pis};
+  batch.reserve(waves.size());
   for (const auto& wave : waves) {
     batch.append(wave);
   }
@@ -92,9 +149,19 @@ wave_batch wave_batch::from_waves(const std::vector<std::vector<bool>>& waves,
 
 std::vector<std::vector<bool>> packed_wave_result::unpack() const {
   std::vector<std::vector<bool>> out(num_waves, std::vector<bool>(num_pos, false));
-  for (std::size_t w = 0; w < num_waves; ++w) {
+  // Word-at-a-time transpose: load each packed word once and fan its lanes
+  // out, instead of recomputing chunk/bit indices per (wave, output) pair.
+  const std::size_t num_chunks = (num_waves + 63) / 64;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t lanes = std::min<std::size_t>(64, num_waves - c * 64);
+    const std::uint64_t* chunk = words.data() + c * num_pos;
     for (std::size_t p = 0; p < num_pos; ++p) {
-      out[w][p] = output(w, p);
+      std::uint64_t word = chunk[p];
+      for (std::size_t b = 0; b < lanes; ++b, word >>= 1) {
+        if ((word & 1u) != 0) {
+          out[c * 64 + b][p] = true;
+        }
+      }
     }
   }
   return out;
@@ -113,7 +180,7 @@ wave_run_result run_waves(const compiled_netlist& net,
 
   wave_run_result result;
   fill_clock_metrics(result, net, phases, waves.size());
-  result.outputs.assign(waves.size(), {});
+  result.outputs.assign(waves.size(), std::vector<bool>(net.num_pos(), false));
   if (waves.empty()) {
     return result;
   }
@@ -146,6 +213,35 @@ wave_run_result run_waves(const compiled_netlist& net,
   // A custom schedule may contain non-advancing edges; fall back to a full
   // pre-tick snapshot in that case to keep the semantics exact.
   const bool in_place = net.min_edge_span() >= 1;
+
+  // Per-tick PO sampling schedule, resolved once: output p (driver level
+  // lvl) samples wave w at tick w * phases + start with start = lvl - 1, so
+  // only the outputs whose start is congruent to t modulo `phases` can
+  // sample at tick t. Bucketing them by that residue turns the former
+  // every-tick rescan of all POs into O(actual samples) work.
+  struct po_sample {
+    std::uint32_t po;
+    std::uint64_t start;
+    slot_ref ref;
+  };
+  // Like phase_ops above, allocation is bounded by the netlist, not by
+  // `phases`: only residues up to the largest sampling start can be
+  // occupied, so ticks beyond the bucket count simply sample nothing.
+  std::uint64_t max_start = 0;
+  for (std::uint32_t p = 0; p < net.num_pos(); ++p) {
+    const std::uint32_t lvl = net.po_levels()[p];
+    max_start = std::max<std::uint64_t>(max_start, lvl > 0 ? lvl - 1 : 0);
+  }
+  std::vector<std::vector<po_sample>> sample_buckets(
+      static_cast<std::size_t>(std::min<std::uint64_t>(phases, max_start + 1)));
+  for (std::uint32_t p = 0; p < net.num_pos(); ++p) {
+    if (net.po_constant()[p]) {
+      continue;
+    }
+    const std::uint32_t lvl = net.po_levels()[p];
+    const std::uint64_t start = lvl > 0 ? lvl - 1 : 0;
+    sample_buckets[start % phases].push_back({p, start, net.po_refs()[p]});
+  }
 
   std::vector<std::uint8_t> value(net.tick_slot_count(), 0);
   std::vector<std::uint8_t> snapshot;
@@ -189,23 +285,18 @@ wave_run_result run_waves(const compiled_netlist& net,
       }
     }
 
-    // Sample every output whose driver just latched its wave.
-    for (std::size_t p = 0; p < net.num_pos(); ++p) {
-      if (net.po_constant()[p]) {
-        continue;
-      }
-      const std::uint32_t lvl = net.po_levels()[p];
-      const std::uint64_t start = lvl > 0 ? lvl - 1 : 0;
-      if (t < start) {
-        continue;  // before the first wave can arrive
-      }
-      const std::uint64_t w = (t - start) / phases;
-      if (w < waves.size() && t == w * phases + start) {
-        auto& out = result.outputs[w];
-        if (out.empty()) {
-          out.assign(net.num_pos(), false);
+    // Sample every output whose driver just latched its wave: exactly the
+    // bucket of this tick's residue (start ≡ t mod phases there, so
+    // t >= start already implies t lands on a sampling tick).
+    if (const std::size_t residue = t % phases; residue < sample_buckets.size()) {
+      for (const auto& s : sample_buckets[residue]) {
+        if (t < s.start) {
+          continue;  // before the first wave can arrive
         }
-        out[p] = read(value, net.po_refs()[p]) != 0;
+        const std::uint64_t w = (t - s.start) / phases;
+        if (w < waves.size()) {
+          result.outputs[w][s.po] = read(value, s.ref) != 0;
+        }
       }
     }
   }
@@ -217,9 +308,6 @@ wave_run_result run_waves(const compiled_netlist& net,
     }
     const bool v = (net.po_refs()[p] & 1u) != 0;
     for (auto& out : result.outputs) {
-      if (out.empty()) {
-        out.assign(net.num_pos(), false);
-      }
       out[p] = v;
     }
   }
@@ -237,38 +325,49 @@ packed_wave_result run_waves_packed(const compiled_netlist& net, const wave_batc
   fill_clock_metrics(result, net, phases, waves.num_waves());
   result.words.resize(waves.num_chunks() * net.num_pos());
 
+  // The batch's words are contiguous chunk-major, so the whole run is one
+  // multi-word block evaluation (internally split into word-blocks of
+  // compiled_netlist::max_block_chunks).
   std::vector<std::uint64_t> scratch;
-  for (std::size_t c = 0; c < waves.num_chunks(); ++c) {
-    eval_packed_chunk(net, waves.chunk_words(c), result.words.data() + c * net.num_pos(),
-                      scratch);
-  }
+  eval_packed_block(net, waves.chunk_words(0), result.words.data(), waves.num_chunks(),
+                    scratch);
   return result;
 }
 
-wave_stream::wave_stream(const compiled_netlist& net, unsigned phases)
-    : net_{net}, phases_{phases}, pending_{net.num_pis()} {
+wave_stream::wave_stream(const compiled_netlist& net, unsigned phases,
+                         std::size_t expected_waves)
+    : net_{net}, phases_{phases}, expected_waves_{expected_waves}, pending_{net.num_pis()} {
   validate_packed_run(net, net.num_pis(), phases, "wave_stream");
+  pending_.reserve(block_waves);
 }
 
 void wave_stream::push(const std::vector<bool>& wave) {
   pending_.append(wave);  // validates the width
   ++pushed_;
-  if (pending_.num_waves() == 64) {
-    flush_chunk();
+  if (pending_.num_waves() == block_waves) {
+    flush_pending();
   }
 }
 
-void wave_stream::flush_chunk() {
-  result_.words.resize(result_.words.size() + net_.num_pos());
-  eval_packed_chunk(net_, pending_.chunk_words(0),
-                    result_.words.data() + result_.words.size() - net_.num_pos(), scratch_);
+void wave_stream::flush_pending() {
+  // The expected-waves hint is applied lazily at the first flush of a run,
+  // so a hinted stream that is finished and discarded (or reset and never
+  // reused) does not pay for a full result buffer it will not fill.
+  if (result_.words.empty() && expected_waves_ != 0) {
+    result_.words.reserve(((expected_waves_ + 63) / 64) * net_.num_pos());
+  }
+  const std::size_t out_words = pending_.num_chunks() * net_.num_pos();
+  result_.words.resize(result_.words.size() + out_words);
+  eval_packed_block(net_, pending_.chunk_words(0),
+                    result_.words.data() + result_.words.size() - out_words,
+                    pending_.num_chunks(), scratch_);
   completed_ += pending_.num_waves();
-  pending_ = wave_batch{net_.num_pis()};
+  pending_.clear();  // keeps the packed-word storage for the next block
 }
 
 packed_wave_result wave_stream::finish() {
   if (!pending_.empty()) {
-    flush_chunk();
+    flush_pending();
   }
   result_.num_pos = net_.num_pos();
   result_.num_waves = completed_;

@@ -53,9 +53,11 @@ struct diff_case {
   std::size_t num_waves;
 };
 
-/// Runs one configuration through all four paths and cross-checks them.
-/// The serving path receives the *raw* network (it balances with the same
-/// options itself), so the check also covers the session's balance+compile.
+/// Runs one configuration through all four paths — at every optimizer
+/// level and kernel width — and cross-checks them. The serving path
+/// receives the *raw* network (it balances with the same options itself),
+/// so the check also covers the session's balance+compile; it runs at the
+/// highest opt level, the configuration production sessions would use.
 void expect_paths_agree(const diff_case& c, engine::parallel_executor& executor,
                         const std::string& what) {
   const auto net = gen::random_mig(c.profile);
@@ -66,12 +68,13 @@ void expect_paths_agree(const diff_case& c, engine::parallel_executor& executor,
 
   // Path 1 — cycle-accurate scalar simulation under the balanced schedule.
   const auto scalar = run_waves(balanced.net, waves, c.phases, balanced.schedule);
-  // Path 2 — packed 64-wave engine.
+  // Path 2 — packed engine (multi-word blocked kernel).
   const auto packed = engine::run_waves_packed(compiled, batch, c.phases);
   // Path 3 — sharded parallel executor.
   const auto parallel = engine::run_waves_parallel(compiled, batch, c.phases, executor);
-  // Path 4 — async serving session (future API, bounded cache).
-  engine::serving_session serving{executor, c.options, {.max_entries = 2}};
+  // Path 4 — async serving session (future API, bounded cache, optimizer on).
+  engine::serving_session serving{executor, c.options, {.max_entries = 2}, 0,
+                                  {.opt_level = 2}};
   const auto async = serving.submit(net, batch, c.phases).get();
 
   ASSERT_EQ(packed.unpack(), scalar.outputs) << what << ": packed vs scalar";
@@ -86,6 +89,24 @@ void expect_paths_agree(const diff_case& c, engine::parallel_executor& executor,
   EXPECT_EQ(async.num_waves, packed.num_waves) << what;
   EXPECT_EQ(async.ticks, packed.ticks) << what;
   EXPECT_EQ(async.initiation_interval, packed.initiation_interval) << what;
+
+  // Optimizer levels: every level's program must produce the same packed
+  // words through both the blocked multi-word kernel and the single-word
+  // (W = 1) kernel driven chunk by chunk.
+  for (const unsigned level : {1u, 2u}) {
+    const engine::compiled_netlist opt{balanced.net, balanced.schedule,
+                                       {.opt_level = level}};
+    const auto opt_packed = engine::run_waves_packed(opt, batch, c.phases);
+    EXPECT_EQ(opt_packed.words, packed.words) << what << ": opt level " << level;
+
+    std::vector<std::uint64_t> single(batch.num_chunks() * opt.num_pos());
+    std::vector<std::uint64_t> scratch;
+    for (std::size_t chunk = 0; chunk < batch.num_chunks(); ++chunk) {
+      engine::eval_packed_chunk(opt, batch.chunk_words(chunk),
+                                single.data() + chunk * opt.num_pos(), scratch);
+    }
+    EXPECT_EQ(single, packed.words) << what << ": W=1 kernel, opt level " << level;
+  }
 }
 
 TEST(differential, four_paths_agree_across_phases_strategies_and_wave_counts) {

@@ -179,16 +179,18 @@ TEST(wave_batch, packs_and_unpacks_waves) {
   }
 }
 
-TEST(wave_stream, streams_chunks_incrementally) {
+TEST(wave_stream, streams_blocks_incrementally) {
   const auto balanced = insert_buffers(gen::ripple_adder_circuit(8)).net;
   const engine::compiled_netlist compiled{balanced};
-  const auto waves = random_waves(200, balanced.num_pis(), 21);
+  // > 2 multi-chunk blocks plus a partial tail.
+  constexpr std::size_t block = engine::wave_stream::block_waves;
+  const auto waves = random_waves(2 * block + 200, balanced.num_pis(), 21);
 
   engine::wave_stream stream{compiled, 3};
   for (std::size_t w = 0; w < waves.size(); ++w) {
     stream.push(waves[w]);
-    // Full chunks are evaluated as soon as they close.
-    EXPECT_EQ(stream.waves_completed(), (w + 1) / 64 * 64);
+    // Full multi-chunk blocks are evaluated as soon as they close.
+    EXPECT_EQ(stream.waves_completed(), (w + 1) / block * block);
   }
   const auto result = stream.finish();
   EXPECT_EQ(result.num_waves, waves.size());
@@ -237,6 +239,137 @@ TEST(wave_stream, finish_resets_for_full_reuse) {
                                              second_waves, balanced.num_pis()), 3);
   EXPECT_EQ(second.words, reference.words);
   EXPECT_EQ(second.ticks, reference.ticks);
+}
+
+TEST(wave_batch, append_words_matches_per_wave_append) {
+  const std::size_t num_pis = 7;
+  const auto waves = random_waves(300, num_pis, 911);
+  const auto packed = engine::wave_batch::from_waves(waves, num_pis);
+
+  // Aligned bulk append: empty batch, multiple chunks, partial tail.
+  engine::wave_batch aligned{num_pis};
+  aligned.append_words(packed.chunk_words(0), waves.size());
+  ASSERT_EQ(aligned.num_waves(), waves.size());
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    for (std::size_t i = 0; i < num_pis; ++i) {
+      ASSERT_EQ(aligned.input(w, i), waves[w][i]) << "wave " << w << " pi " << i;
+    }
+  }
+
+  // Unaligned bulk append: a few per-bool waves first, then the bulk words
+  // spliced at every offset class (1, 63, 64-crossing).
+  for (const std::size_t prefix : {1ull, 37ull, 63ull, 64ull, 65ull}) {
+    engine::wave_batch spliced{num_pis};
+    for (std::size_t w = 0; w < prefix; ++w) {
+      spliced.append(waves[w]);
+    }
+    spliced.append_words(packed.chunk_words(0), waves.size());
+    ASSERT_EQ(spliced.num_waves(), prefix + waves.size());
+    for (std::size_t w = 0; w < prefix + waves.size(); ++w) {
+      const auto& expect = w < prefix ? waves[w] : waves[w - prefix];
+      for (std::size_t i = 0; i < num_pis; ++i) {
+        ASSERT_EQ(spliced.input(w, i), expect[i]) << "prefix " << prefix << " wave " << w;
+      }
+    }
+    // Appending after an unaligned bulk append still lines up.
+    spliced.append(waves[0]);
+    for (std::size_t i = 0; i < num_pis; ++i) {
+      ASSERT_EQ(spliced.input(prefix + waves.size(), i), waves[0][i]);
+    }
+  }
+}
+
+TEST(wave_batch, append_words_ignores_stray_bits_above_num_waves) {
+  // The caller's last chunk may carry garbage above num_waves; those bits
+  // must not leak into waves appended later.
+  const std::size_t num_pis = 3;
+  std::vector<std::uint64_t> words(num_pis, ~std::uint64_t{0});  // all-ones chunk
+  engine::wave_batch batch{num_pis};
+  batch.append_words(words.data(), 5);  // only waves 0..4 are real
+  batch.append({false, false, false});
+  EXPECT_EQ(batch.num_waves(), 6u);
+  for (std::size_t i = 0; i < num_pis; ++i) {
+    EXPECT_TRUE(batch.input(4, i));
+    EXPECT_FALSE(batch.input(5, i)) << "stray bit leaked into pi " << i;
+  }
+}
+
+TEST(wave_batch, clear_keeps_storage_reusable) {
+  engine::wave_batch batch{4};
+  const auto waves = random_waves(100, 4, 5);
+  for (const auto& wave : waves) {
+    batch.append(wave);
+  }
+  batch.clear();
+  EXPECT_EQ(batch.num_waves(), 0u);
+  EXPECT_TRUE(batch.empty());
+  batch.append(waves[3]);
+  EXPECT_EQ(batch.num_waves(), 1u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch.input(0, i), waves[3][i]);  // no stale bits from before clear
+  }
+}
+
+TEST(packed_kernel, block_evaluation_is_bit_identical_to_per_chunk) {
+  // Every block width the kernel dispatches (1..8 chunks, plus a >8 run
+  // that splits internally) must reproduce the single-word kernel exactly.
+  const auto balanced = insert_buffers(gen::random_mig({12, 150, 0.5, 10, 2024})).net;
+  const engine::compiled_netlist compiled{balanced};
+
+  for (const std::size_t num_waves :
+       {1ull, 64ull, 129ull, 256ull, 320ull, 448ull, 512ull, 513ull, 1200ull}) {
+    const auto waves = random_waves(num_waves, balanced.num_pis(), num_waves * 13 + 1);
+    const auto batch = engine::wave_batch::from_waves(waves, balanced.num_pis());
+
+    std::vector<std::uint64_t> reference(batch.num_chunks() * compiled.num_pos());
+    std::vector<std::uint64_t> scratch;
+    for (std::size_t c = 0; c < batch.num_chunks(); ++c) {
+      engine::eval_packed_chunk(compiled, batch.chunk_words(c),
+                                reference.data() + c * compiled.num_pos(), scratch);
+    }
+
+    std::vector<std::uint64_t> blocked(batch.num_chunks() * compiled.num_pos());
+    engine::eval_packed_block(compiled, batch.chunk_words(0), blocked.data(),
+                              batch.num_chunks(), scratch);
+    EXPECT_EQ(blocked, reference) << num_waves << " waves";
+  }
+}
+
+TEST(packed_waves, unpack_matches_per_bit_output_probe) {
+  const auto balanced = insert_buffers(gen::multiplier_circuit(4)).net;
+  const engine::compiled_netlist compiled{balanced};
+  const auto waves = random_waves(193, balanced.num_pis(), 55);  // partial last chunk
+  const auto run = engine::run_waves_packed(
+      compiled, engine::wave_batch::from_waves(waves, balanced.num_pis()), 3);
+  const auto unpacked = run.unpack();
+  ASSERT_EQ(unpacked.size(), waves.size());
+  for (std::size_t w = 0; w < run.num_waves; ++w) {
+    ASSERT_EQ(unpacked[w].size(), run.num_pos);
+    for (std::size_t p = 0; p < run.num_pos; ++p) {
+      ASSERT_EQ(unpacked[w][p], run.output(w, p)) << "wave " << w << " po " << p;
+    }
+  }
+}
+
+TEST(wave_stream, wave_count_hint_changes_nothing_observable) {
+  const auto balanced = insert_buffers(gen::ripple_adder_circuit(6)).net;
+  const engine::compiled_netlist compiled{balanced};
+  const auto waves = random_waves(300, balanced.num_pis(), 31);
+
+  engine::wave_stream hinted{compiled, 3, waves.size()};
+  engine::wave_stream plain{compiled, 3};
+  for (const auto& wave : waves) {
+    hinted.push(wave);
+    plain.push(wave);
+  }
+  const auto a = hinted.finish();
+  const auto b = plain.finish();
+  EXPECT_EQ(a.words, b.words);
+  EXPECT_EQ(a.num_waves, b.num_waves);
+
+  // The hint survives the reset: a second run through the hinted stream.
+  hinted.push(waves[0]);
+  EXPECT_EQ(hinted.finish().unpack()[0], b.unpack()[0]);
 }
 
 TEST(wave_batch, append_validates_width_and_leaves_batch_usable) {
