@@ -153,13 +153,18 @@ double measure_wps(std::size_t waves_per_pass, Fn&& fn) {
 }
 
 /// Steady-state kernel comparison on one netlist: the single-word (W = 1)
-/// kernel driven chunk by chunk — the engine's former hot path — against
-/// the multi-word blocked kernel, at optimizer levels 0 and 2. All
-/// variants are verified bit-identical before anything is reported.
+/// kernel driven chunk by chunk — the engine's original hot path — against
+/// the chunk-major blocked kernel (the PR-4 hot path, now the legacy
+/// adapter: it pays a per-PI gather and per-PO scatter at every block) and
+/// the native plane-major kernel (unit-stride word I/O, the gather
+/// eliminated), at optimizer levels 0 and 2. All variants are verified
+/// bit-identical before anything is reported.
 struct kernel_sweep_result {
   double w1_wps{0.0};
-  double block_wps{0.0};
-  double block_opt2_wps{0.0};
+  double block_wps{0.0};        // chunk-major adapter, opt 0
+  double block_opt2_wps{0.0};   // chunk-major adapter, opt 2 (the PR-4 snapshot path)
+  double plane_wps{0.0};        // plane-major native, opt 0
+  double plane_opt2_wps{0.0};   // plane-major native, opt 2
   std::size_t ops[3]{};    // comb ops at opt level 0/1/2
   std::size_t slots[3]{};  // comb slots at opt level 0/1/2
 };
@@ -180,17 +185,24 @@ kernel_sweep_result kernel_sweep(const mig_network& balanced_net, const level_ma
   const std::size_t num_chunks = batch.num_chunks();
   const std::size_t num_pos = opt0.num_pos();
 
+  const auto chunk_major = batch.chunk_major_words();
   std::vector<std::uint64_t> out(num_chunks * num_pos);
+  std::vector<std::uint64_t> plane_out(num_chunks * num_pos);
   std::vector<std::uint64_t> scratch;
 
   const auto single_word_pass = [&](const engine::compiled_netlist& net) {
     for (std::size_t c = 0; c < num_chunks; ++c) {
-      engine::eval_packed_chunk(net, batch.chunk_words(c), out.data() + c * num_pos,
-                                scratch);
+      engine::eval_packed_chunk(net, chunk_major.data() + c * net.num_pis(),
+                                out.data() + c * num_pos, scratch);
     }
   };
   const auto block_pass = [&](const engine::compiled_netlist& net) {
-    engine::eval_packed_block(net, batch.chunk_words(0), out.data(), num_chunks, scratch);
+    engine::eval_packed_block(net, chunk_major.data(), out.data(), num_chunks, scratch);
+  };
+  const auto plane_pass = [&](const engine::compiled_netlist& net) {
+    engine::eval_packed_planes(net, batch.view(),
+                               {plane_out.data(), num_chunks, num_pos, num_chunks},
+                               scratch);
   };
 
   single_word_pass(opt0);
@@ -202,11 +214,29 @@ kernel_sweep_result kernel_sweep(const mig_network& balanced_net, const level_ma
       std::fprintf(stderr, "FATAL: kernel variants disagree — bench is meaningless\n");
       std::exit(2);
     }
+    std::fill(plane_out.begin(), plane_out.end(), 0);
+    plane_pass(net);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      for (std::size_t p = 0; p < num_pos; ++p) {
+        if (plane_out[p * num_chunks + c] != reference[c * num_pos + p]) {
+          std::fprintf(stderr,
+                       "FATAL: plane-major kernel disagrees — bench is meaningless\n");
+          std::exit(2);
+        }
+      }
+    }
   }
 
   r.w1_wps = measure_wps(batch.num_waves(), [&] { single_word_pass(opt0); });
   r.block_wps = measure_wps(batch.num_waves(), [&] { block_pass(opt0); });
-  r.block_opt2_wps = measure_wps(batch.num_waves(), [&] { block_pass(opt2); });
+  r.plane_wps = measure_wps(batch.num_waves(), [&] { plane_pass(opt0); });
+  // The opt-2 pair feeds the plane-holds-PR4 acceptance gate; best-of-two
+  // windows per path so a single noisy window on a shared runner cannot
+  // fail the ratio.
+  r.block_opt2_wps = std::max(measure_wps(batch.num_waves(), [&] { block_pass(opt2); }),
+                              measure_wps(batch.num_waves(), [&] { block_pass(opt2); }));
+  r.plane_opt2_wps = std::max(measure_wps(batch.num_waves(), [&] { plane_pass(opt2); }),
+                              measure_wps(batch.num_waves(), [&] { plane_pass(opt2); }));
   return r;
 }
 
@@ -309,10 +339,17 @@ int main(int argc, char** argv) {
       {"mig4k", mig_balanced.net, mig_balanced.schedule, {}},
   };
   double best_kernel_speedup = 0.0;
+  // PR-5 acceptance: on every circuit, the native plane-major path must hold
+  // the steady-state throughput of the PR-4 snapshot path (the chunk-major
+  // blocked kernel measured in the same run — the honest cross-machine form
+  // of "≥ BENCH_pr4.json"), modulo timer noise.
+  bool plane_holds_pr4 = true;
   for (auto& k : kernel_cases) {
     k.sweep = kernel_sweep(k.net, k.schedule, kernel_batch(k.net, 4242));
     best_kernel_speedup =
-        std::max(best_kernel_speedup, k.sweep.block_opt2_wps / k.sweep.w1_wps);
+        std::max(best_kernel_speedup, k.sweep.plane_opt2_wps / k.sweep.w1_wps);
+    plane_holds_pr4 =
+        plane_holds_pr4 && k.sweep.plane_opt2_wps >= 0.95 * k.sweep.block_opt2_wps;
   }
 
   // --- parallel sharded execution (thread-scaling sweep) --------------------
@@ -483,8 +520,14 @@ int main(int argc, char** argv) {
                          k.sweep.block_wps);
       bench::json_record("perf_wave_engine", prefix + "_block_opt2_waves_per_s",
                          k.sweep.block_opt2_wps);
+      bench::json_record("perf_wave_engine", prefix + "_plane_waves_per_s",
+                         k.sweep.plane_wps);
+      bench::json_record("perf_wave_engine", prefix + "_plane_opt2_waves_per_s",
+                         k.sweep.plane_opt2_wps);
+      bench::json_record("perf_wave_engine", prefix + "_gather_overhead_vs_plane",
+                         k.sweep.plane_opt2_wps / k.sweep.block_opt2_wps);
       bench::json_record("perf_wave_engine", prefix + "_speedup_vs_w1",
-                         k.sweep.block_opt2_wps / k.sweep.w1_wps);
+                         k.sweep.plane_opt2_wps / k.sweep.w1_wps);
       for (int level = 0; level < 3; ++level) {
         bench::json_record("perf_wave_engine",
                            prefix + "_comb_ops_opt" + std::to_string(level),
@@ -496,6 +539,8 @@ int main(int argc, char** argv) {
     }
     bench::json_record("perf_wave_engine", "kernel_best_speedup_vs_w1",
                        best_kernel_speedup);
+    bench::json_record("perf_wave_engine", "kernel_plane_holds_pr4",
+                       plane_holds_pr4 ? 1.0 : 0.0);
     for (std::size_t i = 0; i < thread_counts.size(); ++i) {
       bench::json_record("perf_wave_engine",
                          "engine_parallel_waves_per_s_t" + std::to_string(thread_counts[i]),
@@ -527,20 +572,22 @@ int main(int argc, char** argv) {
                 bench::fmt(steady_s, 4).c_str(), bench::fmt(steady_wps).c_str(),
                 bench::fmt(steady_speedup).c_str());
 
-    std::printf("\nkernel width x optimizer steady-state sweep — %zu waves\n", kernel_waves);
+    std::printf("\nkernel layout x optimizer steady-state sweep — %zu waves\n", kernel_waves);
     std::printf("%-10s %14s %14s %14s %10s %18s\n", "netlist", "W=1 waves/s",
-                "block waves/s", "block+opt2", "speedup", "ops 0/1/2");
+                "chunk-major", "plane-major", "speedup", "ops 0/1/2");
     bench::print_rule('-', 92);
     for (const auto& k : kernel_cases) {
       char ops[64];
       std::snprintf(ops, sizeof(ops), "%zu/%zu/%zu", k.sweep.ops[0], k.sweep.ops[1],
                     k.sweep.ops[2]);
       std::printf("%-10s %14s %14s %14s %9sx %18s\n", k.name,
-                  bench::fmt(k.sweep.w1_wps).c_str(), bench::fmt(k.sweep.block_wps).c_str(),
+                  bench::fmt(k.sweep.w1_wps).c_str(),
                   bench::fmt(k.sweep.block_opt2_wps).c_str(),
-                  bench::fmt(k.sweep.block_opt2_wps / k.sweep.w1_wps).c_str(), ops);
-      std::printf("%-10s %60s slots 0/2: %zu -> %zu\n", "", "", k.sweep.slots[0],
-                  k.sweep.slots[2]);
+                  bench::fmt(k.sweep.plane_opt2_wps).c_str(),
+                  bench::fmt(k.sweep.plane_opt2_wps / k.sweep.w1_wps).c_str(), ops);
+      std::printf("%-10s %46s gather overhead recovered: %sx | slots 0/2: %zu -> %zu\n", "",
+                  "", bench::fmt(k.sweep.plane_opt2_wps / k.sweep.block_opt2_wps).c_str(),
+                  k.sweep.slots[0], k.sweep.slots[2]);
     }
 
     std::printf("\nparallel thread-scaling sweep — %zu waves (%zu chunks), %u hardware "
@@ -569,10 +616,13 @@ int main(int argc, char** argv) {
     std::printf("\nacceptance: packed >= 10x over seed scalar: %s (%sx)\n",
                 packed_speedup >= 10.0 ? "PASS" : "FAIL",
                 bench::fmt(packed_speedup).c_str());
-    std::printf("acceptance: blocked kernel >= 2x over single-word kernel: %s (%sx)\n",
+    std::printf("acceptance: plane-major kernel >= 2x over single-word kernel: %s (%sx)\n",
                 best_kernel_speedup >= 2.0 ? "PASS" : "FAIL",
                 bench::fmt(best_kernel_speedup).c_str());
+    std::printf("acceptance: plane-major holds the PR-4 (chunk-major) throughput on every "
+                "netlist: %s\n",
+                plane_holds_pr4 ? "PASS" : "FAIL");
   }
 
-  return packed_speedup >= 10.0 && best_kernel_speedup >= 2.0 ? 0 : 1;
+  return packed_speedup >= 10.0 && best_kernel_speedup >= 2.0 && plane_holds_pr4 ? 0 : 1;
 }

@@ -154,15 +154,28 @@ public:
   /// widening the datapath.
   static constexpr std::size_t max_block_chunks = 8;
 
-  /// Multi-word generalization of `eval_words_into`: evaluates `num_chunks`
-  /// consecutive 64-wave chunks in word-blocks of up to `max_block_chunks`.
-  /// Input/output layout is chunk-major, exactly like `wave_batch` /
-  /// `packed_wave_result`: chunk c's inputs at `pi_words + c * num_pis()`,
-  /// its outputs at `po_words + c * num_pos()`. Uses unrolled portable
-  /// kernels for W = 4 and W = 8, or the runtime-dispatched AVX2 path when
-  /// the library was built with WAVEMIG_ENABLE_AVX2 and the CPU supports
-  /// it. `slots` is reusable scratch; results are bit-identical to calling
-  /// `eval_words_into` once per chunk.
+  /// The native multi-word entry: evaluates `num_chunks` consecutive
+  /// 64-wave chunks in word-blocks of up to `max_block_chunks`, with
+  /// **plane-major** I/O — PI i's chunk words contiguous at
+  /// `pi_planes + i * pi_stride`, PO p's at `po_planes + p * po_stride`
+  /// (the layout of `wave_batch::view()` / `packed_wave_result`). Each
+  /// block's PI words load into the slot-major kernel blocks with unit
+  /// stride (one contiguous W-word copy per PI) and PO words store the same
+  /// way — no strided gather or scatter anywhere. Uses unrolled portable
+  /// kernels for every width plus the runtime-dispatched AVX2 / NEON paths
+  /// when built in (WAVEMIG_ENABLE_AVX2 / WAVEMIG_ENABLE_NEON). `slots` is
+  /// reusable scratch; results are bit-identical to `eval_words_into` per
+  /// chunk, modulo layout.
+  void eval_planes_block(const std::uint64_t* pi_planes, std::size_t pi_stride,
+                         std::uint64_t* po_planes, std::size_t po_stride,
+                         std::size_t num_chunks, std::vector<std::uint64_t>& slots) const;
+
+  /// Legacy chunk-major adapter of `eval_planes_block`: both sides laid out
+  /// `words[c * num_signals + s]` — chunk c's inputs at
+  /// `pi_words + c * num_pis()`, its outputs at `po_words + c * num_pos()`.
+  /// Pays a strided per-PI gather and per-PO scatter at every block
+  /// boundary; kept for consumers still holding chunk-major words.
+  /// Bit-identical to calling `eval_words_into` once per chunk.
   void eval_words_block(const std::uint64_t* pi_words, std::uint64_t* po_words,
                         std::size_t num_chunks, std::vector<std::uint64_t>& slots) const;
 

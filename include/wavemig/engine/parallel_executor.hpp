@@ -84,9 +84,11 @@ private:
 /// batches (full multi-word kernel width, amortized dispatch), shrinking
 /// toward one chunk per task when the batch is too small to feed every
 /// worker at full width. Blocks are independent (wave coherence makes
-/// every chunk a pure function of its inputs), and each block writes a
-/// disjoint slice of the chunk-major result, so assembly is deterministic
-/// regardless of completion order — and identical at every block size.
+/// every chunk a pure function of its inputs); each task evaluates a
+/// chunk slice of the batch's plane-major view (no copy — a slice is the
+/// same planes at an offset base) and writes a disjoint chunk range of
+/// every result plane, so assembly is deterministic regardless of
+/// completion order — and identical at every block size.
 packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_batch& waves,
                                       unsigned phases, parallel_executor& executor);
 
@@ -94,8 +96,10 @@ packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_ba
 /// multi-chunk block (`block_waves` waves) is dispatched to the pool the
 /// moment it fills, so evaluation overlaps with wave arrival and with other
 /// streams sharing the executor, and each pool task runs the multi-word
-/// kernel at full width. Results are assembled chunk-major in push order —
-/// bit-identical to the single-threaded packed path.
+/// kernel at full width. Each block evaluates into its own plane-major
+/// buffer; finish() splices the per-block planes into the result's
+/// full-width planes in push order — bit-identical to the single-threaded
+/// packed path.
 ///
 /// push/finish must be called from one thread (the stream owner); the
 /// executor may be shared with any number of other streams and sessions.

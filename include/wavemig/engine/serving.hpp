@@ -76,6 +76,26 @@ public:
   void submit(mig_network net, wave_batch waves, unsigned phases,
               serving_callback on_complete);
 
+  /// Zero-copy packed submission: `plane_words` holds the waves already in
+  /// the engine's plane-major layout — ceil(num_waves / 64) contiguous
+  /// chunk words per PI, PI i's words at `plane_words[i * chunks ..
+  /// (i+1) * chunks)`, wave w at bit w % 64 (exactly
+  /// `wave_batch::view()` with plane stride == chunk count). The vector is
+  /// adopted wholesale (`wave_batch::from_plane_words`); no per-wave
+  /// packing, no transpose, no copy happens anywhere between the producer
+  /// and the kernel. Bits above `num_waves` in each plane's last chunk are
+  /// masked off. Like `submit`, validation (including the vector-size
+  /// check) happens on the dispatcher, so malformed requests surface
+  /// through the future / callback, and std::runtime_error is thrown when
+  /// the session is closed.
+  [[nodiscard]] std::future<packed_wave_result> submit_packed(
+      mig_network net, std::vector<std::uint64_t> plane_words, std::size_t num_waves,
+      unsigned phases);
+
+  /// Callback variant of the zero-copy packed submission.
+  void submit_packed(mig_network net, std::vector<std::uint64_t> plane_words,
+                     std::size_t num_waves, unsigned phases, serving_callback on_complete);
+
   /// Blocks until every request accepted so far completed. New submissions
   /// remain allowed (and may keep `drain` from returning if they keep
   /// arriving).
@@ -104,6 +124,12 @@ private:
   struct request {
     mig_network net;
     wave_batch waves{0};  // wave_batch has no default constructor
+    /// submit_packed requests carry the adopted plane-major words instead
+    /// of a batch; the dispatcher wraps them (zero-copy, but its size
+    /// validation must surface through the future, not from submit).
+    std::vector<std::uint64_t> plane_words;
+    std::size_t packed_waves{0};
+    bool packed{false};
     unsigned phases{0};
     serving_callback done;
   };

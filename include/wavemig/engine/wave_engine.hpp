@@ -8,9 +8,64 @@
 
 namespace wavemig::engine {
 
-/// Packed batch of input waves: 64 waves per 64-bit word. Chunk c holds
-/// waves [64c, 64c + 64); inside a chunk, `words[c * num_pis + i]` packs the
-/// value of PI i for those 64 waves (wave w at bit w % 64).
+/// @name Plane-major packed layout
+///
+/// Packed wave words are stored **plane-major** (word-transposed): for each
+/// signal (PI of a batch, PO of a result) a contiguous run of chunk words —
+/// `plane(s)[c]` packs waves [64c, 64c + 64) of signal s, wave w at bit
+/// w % 64. The multi-word kernel consumes slot-major word blocks, so
+/// plane-major I/O feeds it with unit-stride copies; the former chunk-major
+/// layout (`words[c * num_signals + s]`) forced a strided gather per PI and
+/// a strided scatter per PO on every block. Chunk-major survives only as
+/// explicit adapters (`append_words`, `chunk_major_words`).
+/// @{
+
+/// Read-only view of a plane-major word block: `num_signals` planes of
+/// `num_chunks` contiguous words each, consecutive planes `plane_stride`
+/// words apart (the stride may exceed `num_chunks` — a batch keeps spare
+/// chunk capacity, and a chunk slice of a wider block keeps the parent's
+/// stride). Bits above the last valid wave in the final chunk are zero for
+/// every view handed out by the engine's containers.
+struct wave_block_view {
+  const std::uint64_t* planes{nullptr};
+  std::size_t plane_stride{0};
+  std::size_t num_signals{0};
+  std::size_t num_chunks{0};
+
+  [[nodiscard]] const std::uint64_t* plane(std::size_t signal) const {
+    return planes + signal * plane_stride;
+  }
+  /// The sub-view of chunks [first, first + count) — same planes, offset
+  /// base, unchanged stride. This is how sharded executors slice work
+  /// without copying: a slice is itself a valid plane-major block.
+  [[nodiscard]] wave_block_view slice(std::size_t first, std::size_t count) const {
+    return {planes + first, plane_stride, num_signals, count};
+  }
+};
+
+/// Mutable counterpart of wave_block_view (what evaluation writes into).
+struct wave_block_mut_view {
+  std::uint64_t* planes{nullptr};
+  std::size_t plane_stride{0};
+  std::size_t num_signals{0};
+  std::size_t num_chunks{0};
+
+  [[nodiscard]] std::uint64_t* plane(std::size_t signal) const {
+    return planes + signal * plane_stride;
+  }
+  [[nodiscard]] wave_block_mut_view slice(std::size_t first, std::size_t count) const {
+    return {planes + first, plane_stride, num_signals, count};
+  }
+};
+
+/// @}
+
+/// Packed batch of input waves: 64 waves per 64-bit word, stored plane-major
+/// (see above) — PI i owns the contiguous words `plane(i)[0 .. num_chunks())`,
+/// wave w at bit w % 64 of word w / 64. Invariant maintained by every
+/// mutator: words beyond `num_waves()` (the tail bits of the last chunk and
+/// any spare capacity chunks) are zero, so views of the batch never expose
+/// stray bits.
 class wave_batch {
 public:
   explicit wave_batch(std::size_t num_pis) : num_pis_{num_pis} {}
@@ -24,48 +79,79 @@ public:
   /// width mismatch.
   void append(const std::vector<bool>& wave);
 
-  /// Bulk-appends `num_waves` already packed waves, so producers that hold
-  /// packed words (a previous result, a wire format, another batch) skip
-  /// the per-bool packing entirely. `words` uses this class's chunk-major
-  /// layout: ceil(num_waves / 64) chunks of `num_pis` words each, wave w at
-  /// bit w % 64 of chunk w / 64. Bits above `num_waves` in the last chunk
-  /// are ignored. When the batch holds a multiple of 64 waves the copy is
-  /// word-aligned; otherwise each word is spliced with two shifts — never
-  /// bit by bit.
+  /// Bulk-appends `num_waves` already packed waves given in the legacy
+  /// **chunk-major** layout (`words[c * num_pis + i]` packs PI i of chunk
+  /// c): the compatibility adapter for producers holding chunk-major words
+  /// (a wire format, a pre-transpose snapshot). Bits above `num_waves` in
+  /// the caller's last chunk are ignored. Words are spliced with at most
+  /// two shifts each — never bit by bit.
   void append_words(const std::uint64_t* words, std::size_t num_waves);
+
+  /// Bulk-appends `num_waves` packed waves given plane-major: PI i's words
+  /// at `planes + i * plane_stride`, exactly the layout of `view()` /
+  /// another batch's planes. The native bulk path — when the batch holds a
+  /// multiple of 64 waves it is one contiguous copy per plane. Bits above
+  /// `num_waves` in each plane's last chunk are ignored.
+  void append_planes(const std::uint64_t* planes, std::size_t plane_stride,
+                     std::size_t num_waves);
+
+  /// Adopts `words` as plane-major storage without copying: `num_pis`
+  /// planes of exactly ceil(num_waves / 64) words each (plane stride ==
+  /// chunk count, PI i's words at `words[i * chunks .. (i+1) * chunks)`).
+  /// Bits above `num_waves` in each plane's last chunk are masked off.
+  /// Throws std::invalid_argument when the vector's size does not match.
+  /// This is the zero-copy ingestion path of serving_session::submit_packed.
+  static wave_batch from_plane_words(std::vector<std::uint64_t> words, std::size_t num_pis,
+                                     std::size_t num_waves);
 
   /// Drops all waves but keeps the word storage for reuse (the allocation
   /// amortizer of wave_stream's flush path).
-  void clear() {
-    num_waves_ = 0;
-    words_.clear();
-  }
+  void clear();
 
   /// Pre-allocates storage for `num_waves` waves.
-  void reserve(std::size_t num_waves) { words_.reserve(((num_waves + 63) / 64) * num_pis_); }
+  void reserve(std::size_t num_waves) { ensure_chunk_capacity((num_waves + 63) / 64); }
 
   [[nodiscard]] bool input(std::size_t wave, std::size_t pi) const {
-    const std::uint64_t word = words_[(wave / 64) * num_pis_ + pi];
+    const std::uint64_t word = words_[pi * chunk_capacity_ + wave / 64];
     return ((word >> (wave % 64)) & 1u) != 0;
   }
 
-  /// The `num_pis` packed words of chunk `chunk`.
-  [[nodiscard]] const std::uint64_t* chunk_words(std::size_t chunk) const {
-    return words_.data() + chunk * num_pis_;
+  /// The contiguous chunk words of PI `pi` (plane-major native access).
+  [[nodiscard]] const std::uint64_t* plane(std::size_t pi) const {
+    return words_.data() + pi * chunk_capacity_;
   }
+
+  /// Plane-major view of the whole batch — what the packed front-ends hand
+  /// to the kernel. Valid until the next mutation.
+  [[nodiscard]] wave_block_view view() const {
+    return {words_.data(), chunk_capacity_, num_pis_, num_chunks()};
+  }
+
+  /// Legacy chunk-major copy (`out[c * num_pis + i]` packs PI i of chunk
+  /// c) — the adapter for consumers of the pre-transpose layout. O(chunks x
+  /// PIs); the hot paths never call it.
+  [[nodiscard]] std::vector<std::uint64_t> chunk_major_words() const;
 
   static wave_batch from_waves(const std::vector<std::vector<bool>>& waves, std::size_t num_pis);
 
 private:
+  /// Grows the per-plane stride to at least `chunks` words (geometric), and
+  /// re-strides the planes. New words are zero.
+  void ensure_chunk_capacity(std::size_t chunks);
+
   std::size_t num_pis_;
   std::size_t num_waves_{0};
-  std::vector<std::uint64_t> words_;
+  std::size_t chunk_capacity_{0};  ///< plane stride in words
+  std::vector<std::uint64_t> words_;  ///< num_pis_ * chunk_capacity_ words
 };
 
-/// Result of a packed wave run: 64 waves per word, chunk-major like
-/// wave_batch (`words[c * num_pos + p]` packs PO p of chunk c). Clocking
-/// metadata matches what the cycle-accurate simulator reports for the same
-/// run.
+/// Result of a packed wave run: 64 waves per word, plane-major like
+/// wave_batch — PO p owns the contiguous words `plane(p)[0 .. num_chunks())`
+/// (plane stride == chunk count exactly). Every engine front-end masks the
+/// bits above `num_waves` in each plane's last chunk, so results uphold the
+/// same tail-zero invariant as batches (hash or ship the words as-is).
+/// Clocking metadata matches what the cycle-accurate simulator reports for
+/// the same run.
 struct packed_wave_result {
   std::size_t num_pos{0};
   std::size_t num_waves{0};
@@ -75,10 +161,25 @@ struct packed_wave_result {
   std::uint32_t initiation_interval{0};
   std::uint32_t waves_in_flight{0};
 
+  [[nodiscard]] std::size_t num_chunks() const { return (num_waves + 63) / 64; }
+
   [[nodiscard]] bool output(std::size_t wave, std::size_t po) const {
-    const std::uint64_t word = words[(wave / 64) * num_pos + po];
+    const std::uint64_t word = words[po * num_chunks() + wave / 64];
     return ((word >> (wave % 64)) & 1u) != 0;
   }
+
+  /// The contiguous chunk words of PO `po`.
+  [[nodiscard]] const std::uint64_t* plane(std::size_t po) const {
+    return words.data() + po * num_chunks();
+  }
+
+  [[nodiscard]] wave_block_view view() const {
+    return {words.data(), num_chunks(), num_pos, num_chunks()};
+  }
+
+  /// Legacy chunk-major copy (`out[c * num_pos + p]`) — adapter for
+  /// consumers of the pre-transpose layout.
+  [[nodiscard]] std::vector<std::uint64_t> chunk_major_words() const;
 
   /// Unpacks into the per-wave bool layout of wave_run_result::outputs —
   /// a word-at-a-time transpose (each packed word is loaded once and its
@@ -99,9 +200,9 @@ wave_run_result run_waves(const compiled_netlist& net,
 ///
 /// The building blocks every packed front-end (`run_waves_packed`,
 /// `wave_stream`, and the sharded executors in parallel_executor.hpp) is
-/// assembled from: validation, clock metadata, and single-chunk evaluation.
-/// Routing all paths through the same kernel is what keeps single-threaded
-/// and multi-threaded results bit-identical.
+/// assembled from: validation, clock metadata, and block evaluation over
+/// plane-major views. Routing all paths through the same kernel is what
+/// keeps single-threaded and multi-threaded results bit-identical.
 /// @{
 
 /// Throws std::invalid_argument unless `phases >= 1`, `batch_pis` matches
@@ -115,19 +216,27 @@ void validate_packed_run(const compiled_netlist& net, std::size_t batch_pis, uns
 void fill_packed_clock_metrics(packed_wave_result& result, const compiled_netlist& net,
                                unsigned phases, std::size_t num_waves);
 
-/// Evaluates one 64-wave chunk: `chunk_words` holds the batch's `num_pis`
-/// packed input words, `out_words` receives `num_pos` packed output words.
-/// `scratch` is reused across calls — after the first call for a given
-/// netlist the kernel performs no allocation.
+/// Evaluates a plane-major block: PI words read from `pis`, PO words written
+/// into `pos` (both sides unit stride per signal — the zero-gather hot
+/// path; see compiled_netlist::eval_planes_block). The chunk counts of the
+/// two views must match, and their signal counts must match the netlist —
+/// std::invalid_argument otherwise. `scratch` is reused across calls; after
+/// the first call for a given netlist the kernel performs no allocation.
+void eval_packed_planes(const compiled_netlist& net, const wave_block_view& pis,
+                        const wave_block_mut_view& pos, std::vector<std::uint64_t>& scratch);
+
+/// Evaluates one 64-wave chunk in the legacy chunk-major layout:
+/// `chunk_words` holds `num_pis` packed input words, `out_words` receives
+/// `num_pos` packed output words. Kept as the single-word (W = 1) reference
+/// the multi-word paths are tested against.
 void eval_packed_chunk(const compiled_netlist& net, const std::uint64_t* chunk_words,
                        std::uint64_t* out_words, std::vector<std::uint64_t>& scratch);
 
-/// Evaluates `num_chunks` consecutive chunks through the multi-word kernel
-/// (blocks of up to compiled_netlist::max_block_chunks chunks per pass,
-/// AVX2-dispatched when available). Layout is chunk-major on both sides,
-/// exactly `num_chunks` adjacent chunks of a wave_batch / packed result.
-/// Bit-identical to `eval_packed_chunk` per chunk; this is the kernel every
-/// packed front-end shards by.
+/// Evaluates `num_chunks` consecutive chunks given **chunk-major** words on
+/// both sides (`chunk_words[c * num_pis + i]`, `out_words[c * num_pos + p]`)
+/// — the legacy adapter entry: it pays the per-PI gather and per-PO scatter
+/// the plane-major path exists to eliminate. Bit-identical to
+/// `eval_packed_chunk` per chunk and to `eval_packed_planes` modulo layout.
 void eval_packed_block(const compiled_netlist& net, const std::uint64_t* chunk_words,
                        std::uint64_t* out_words, std::size_t num_chunks,
                        std::vector<std::uint64_t>& scratch);
@@ -148,8 +257,8 @@ packed_wave_result run_waves_packed(const compiled_netlist& net, const wave_batc
 /// arrive incrementally: waves accumulate into a multi-chunk block
 /// (`block_waves` = 512 at the default kernel width) that is evaluated in
 /// one multi-word pass the moment it fills, with the pending storage and
-/// scratch reused across blocks, so memory stays constant regardless of
-/// stream length.
+/// scratch reused across blocks, so the working set stays constant
+/// regardless of stream length.
 class wave_stream {
 public:
   /// Waves per evaluated block: one full pass of the multi-word kernel.
@@ -180,7 +289,12 @@ private:
   unsigned phases_;
   std::size_t expected_waves_;
   wave_batch pending_;
-  packed_wave_result result_;
+  /// Flushed blocks, concatenated: block b occupies done_chunks_[b] *
+  /// num_pos words, plane-major with stride == that block's chunk count.
+  /// finish() splices the per-block planes into the result's full-width
+  /// planes (or moves the buffer wholesale when only one block flushed).
+  std::vector<std::uint64_t> done_words_;
+  std::vector<std::size_t> done_chunks_;
   std::vector<std::uint64_t> scratch_;
   std::size_t pushed_{0};
   std::size_t completed_{0};

@@ -1,0 +1,44 @@
+#pragma once
+
+// Internal helpers shared by the packed front-ends (wave_engine.cpp,
+// parallel_executor.cpp) for assembling and finishing plane-major results.
+// Not installed; nothing outside src/engine includes this.
+
+#include <cstdint>
+#include <cstring>
+
+#include "wavemig/engine/wave_engine.hpp"
+
+namespace wavemig::engine::detail {
+
+/// Splices one plane-major block (`block_chunks` chunks, plane stride ==
+/// its own chunk count) into a plane-major destination of stride
+/// `dst_stride` at chunk offset `chunk_offset` — the assembly step of the
+/// streaming front-ends. One contiguous chunk-word copy per plane.
+inline void splice_block_planes(const std::uint64_t* src, std::size_t block_chunks,
+                                std::uint64_t* dst, std::size_t dst_stride,
+                                std::size_t chunk_offset, std::size_t num_planes) {
+  for (std::size_t p = 0; p < num_planes; ++p) {
+    std::memcpy(dst + p * dst_stride + chunk_offset, src + p * block_chunks,
+                block_chunks * sizeof(std::uint64_t));
+  }
+}
+
+/// Zeroes the bits above `num_waves` in each plane's last chunk of a
+/// finished result. The kernel computes tail lanes like any other lane
+/// (deterministically, from the batch's zeroed tail inputs — complemented
+/// outputs make them 1), so every front-end masks once at assembly to
+/// uphold the containers' tail-zero invariant.
+inline void mask_result_tail(packed_wave_result& result) {
+  const std::size_t tail = result.num_waves % 64;
+  if (tail == 0 || result.words.empty()) {
+    return;
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+  const std::size_t chunks = result.num_chunks();
+  for (std::size_t p = 0; p < result.num_pos; ++p) {
+    result.words[p * chunks + chunks - 1] &= mask;
+  }
+}
+
+}  // namespace wavemig::engine::detail

@@ -1,12 +1,82 @@
 #include "wavemig/engine/compiled_netlist.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
 #include "packed_kernel.hpp"
 
+// Prefetch is a pure hint; compile it out where the builtin is unavailable.
+#if defined(__GNUC__) || defined(__clang__)
+#define WAVEMIG_PREFETCH(addr, rw) __builtin_prefetch((addr), (rw))
+#else
+#define WAVEMIG_PREFETCH(addr, rw) ((void)0)
+#endif
+
 namespace wavemig::engine {
+
+namespace {
+
+/// One pass of the majority program over a W-word slot block: the width
+/// dispatch shared by the plane-major and chunk-major entries. W = 4 and
+/// W = 8 go to the SIMD instances (AVX2 / NEON) when built in and supported
+/// at runtime; every width has a fully unrolled portable kernel.
+void run_ops_block(const compiled_netlist::maj_op* ops, std::size_t num_ops,
+                   std::uint64_t* slots, std::size_t w) {
+  switch (w) {
+    case 8:
+#if defined(WAVEMIG_HAVE_AVX2)
+      if (detail::avx2_supported()) {
+        detail::eval_ops_avx2_w8(ops, num_ops, slots);
+        break;
+      }
+#endif
+#if defined(WAVEMIG_HAVE_NEON)
+      if (detail::neon_supported()) {
+        detail::eval_ops_neon_w8(ops, num_ops, slots);
+        break;
+      }
+#endif
+      detail::eval_ops_portable<8>(ops, num_ops, slots);
+      break;
+    case 4:
+#if defined(WAVEMIG_HAVE_AVX2)
+      if (detail::avx2_supported()) {
+        detail::eval_ops_avx2_w4(ops, num_ops, slots);
+        break;
+      }
+#endif
+#if defined(WAVEMIG_HAVE_NEON)
+      if (detail::neon_supported()) {
+        detail::eval_ops_neon_w4(ops, num_ops, slots);
+        break;
+      }
+#endif
+      detail::eval_ops_portable<4>(ops, num_ops, slots);
+      break;
+    case 7:
+      detail::eval_ops_portable<7>(ops, num_ops, slots);
+      break;
+    case 6:
+      detail::eval_ops_portable<6>(ops, num_ops, slots);
+      break;
+    case 5:
+      detail::eval_ops_portable<5>(ops, num_ops, slots);
+      break;
+    case 3:
+      detail::eval_ops_portable<3>(ops, num_ops, slots);
+      break;
+    case 2:
+      detail::eval_ops_portable<2>(ops, num_ops, slots);
+      break;
+    default:
+      detail::eval_ops_portable<1>(ops, num_ops, slots);
+      break;
+  }
+}
+
+}  // namespace
 
 compiled_netlist::compiled_netlist(const mig_network& net, compile_options options)
     : compiled_netlist{net, compute_levels(net), options} {}
@@ -150,6 +220,54 @@ void compiled_netlist::eval_words_into(const std::uint64_t* pi_words, std::uint6
   }
 }
 
+void compiled_netlist::eval_planes_block(const std::uint64_t* pi_planes, std::size_t pi_stride,
+                                         std::uint64_t* po_planes, std::size_t po_stride,
+                                         std::size_t num_chunks,
+                                         std::vector<std::uint64_t>& slots) const {
+  for (std::size_t done = 0; done < num_chunks;) {
+    const std::size_t w = std::min(max_block_chunks, num_chunks - done);
+
+    // Slot-major W-word blocks: slot s occupies slots[s*w .. s*w + w).
+    slots.resize(static_cast<std::size_t>(comb_slot_count_) * w);
+    std::uint64_t* s = slots.data();
+    std::fill(s, s + w, 0);  // constant slot
+    const bool more = done + w < num_chunks;
+    for (std::size_t i = 0; i < num_pis_; ++i) {
+      const std::uint64_t* src = pi_planes + i * pi_stride + done;
+      // Each plane contributes one cache line per block, a full plane
+      // stride apart from its neighbors — too many streams for hardware
+      // prefetchers to track, so the next block's line is requested here,
+      // with a whole kernel pass of latency to hide behind.
+      if (more) {
+        WAVEMIG_PREFETCH(src + w, 0);
+      }
+      // Plane-major input: the block's W words of PI i are already adjacent.
+      // A plain loop, not memcpy — the runtime-sized call would cost more
+      // than the 64-byte copy itself, per PI per block.
+      std::uint64_t* dst = s + (1 + i) * w;
+      for (std::size_t j = 0; j < w; ++j) {
+        dst[j] = src[j];
+      }
+    }
+
+    run_ops_block(comb_ops_.data(), comb_ops_.size(), s, w);
+
+    for (std::size_t p = 0; p < num_pos_; ++p) {
+      const slot_ref ref = comb_po_refs_[p];
+      const std::uint64_t* out_slot = s + static_cast<std::size_t>(ref >> 1) * w;
+      const std::uint64_t mask = complement_mask(ref);
+      std::uint64_t* dst = po_planes + p * po_stride + done;
+      if (more) {
+        WAVEMIG_PREFETCH(dst + w, 1);
+      }
+      for (std::size_t j = 0; j < w; ++j) {
+        dst[j] = out_slot[j] ^ mask;  // unit stride, no scatter
+      }
+    }
+    done += w;
+  }
+}
+
 void compiled_netlist::eval_words_block(const std::uint64_t* pi_words,
                                         std::uint64_t* po_words, std::size_t num_chunks,
                                         std::vector<std::uint64_t>& slots) const {
@@ -165,55 +283,18 @@ void compiled_netlist::eval_words_block(const std::uint64_t* pi_words,
     for (std::size_t i = 0; i < num_pis_; ++i) {
       std::uint64_t* pi_slot = s + (1 + i) * w;
       for (std::size_t j = 0; j < w; ++j) {
-        pi_slot[j] = pi[j * num_pis_ + i];  // transpose chunk-major -> slot-major
+        pi_slot[j] = pi[j * num_pis_ + i];  // gather: chunk-major -> slot-major
       }
     }
 
-    switch (w) {
-      case 8:
-#if defined(WAVEMIG_HAVE_AVX2)
-        if (detail::avx2_supported()) {
-          detail::eval_ops_avx2_w8(comb_ops_.data(), comb_ops_.size(), s);
-          break;
-        }
-#endif
-        detail::eval_ops_portable<8>(comb_ops_.data(), comb_ops_.size(), s);
-        break;
-      case 4:
-#if defined(WAVEMIG_HAVE_AVX2)
-        if (detail::avx2_supported()) {
-          detail::eval_ops_avx2_w4(comb_ops_.data(), comb_ops_.size(), s);
-          break;
-        }
-#endif
-        detail::eval_ops_portable<4>(comb_ops_.data(), comb_ops_.size(), s);
-        break;
-      case 7:
-        detail::eval_ops_portable<7>(comb_ops_.data(), comb_ops_.size(), s);
-        break;
-      case 6:
-        detail::eval_ops_portable<6>(comb_ops_.data(), comb_ops_.size(), s);
-        break;
-      case 5:
-        detail::eval_ops_portable<5>(comb_ops_.data(), comb_ops_.size(), s);
-        break;
-      case 3:
-        detail::eval_ops_portable<3>(comb_ops_.data(), comb_ops_.size(), s);
-        break;
-      case 2:
-        detail::eval_ops_portable<2>(comb_ops_.data(), comb_ops_.size(), s);
-        break;
-      default:
-        detail::eval_ops_portable<1>(comb_ops_.data(), comb_ops_.size(), s);
-        break;
-    }
+    run_ops_block(comb_ops_.data(), comb_ops_.size(), s, w);
 
     for (std::size_t p = 0; p < num_pos_; ++p) {
       const slot_ref ref = comb_po_refs_[p];
       const std::uint64_t* out_slot = s + static_cast<std::size_t>(ref >> 1) * w;
       const std::uint64_t mask = complement_mask(ref);
       for (std::size_t j = 0; j < w; ++j) {
-        po[j * num_pos_ + p] = out_slot[j] ^ mask;  // back to chunk-major
+        po[j * num_pos_ + p] = out_slot[j] ^ mask;  // scatter back to chunk-major
       }
     }
     done += w;

@@ -1,0 +1,72 @@
+// NEON instance of the multi-word packed kernel, the arm64 counterpart of
+// kernel_avx2.cpp (see the WAVEMIG_ENABLE_NEON option in CMakeLists.txt).
+// NEON/ASIMD is part of the AArch64 baseline, so no special compile flags
+// are needed; the dispatch still goes through detail::neon_supported() to
+// mirror the AVX2 translation unit's shape. When the option is off this
+// unit compiles to nothing and the portable kernels serve every width.
+
+#if defined(WAVEMIG_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include "packed_kernel.hpp"
+
+namespace wavemig::engine::detail {
+
+bool neon_supported() {
+  return true;  // ASIMD is mandatory in the AArch64 baseline ISA
+}
+
+namespace {
+
+/// Majority over three 128-bit lanes: (a & (b | c)) | (b & c).
+inline uint64x2_t maj128(uint64x2_t a, uint64x2_t b, uint64x2_t c) {
+  return vorrq_u64(vandq_u64(a, vorrq_u64(b, c)), vandq_u64(b, c));
+}
+
+inline uint64x2_t load_xor(const std::uint64_t* p, uint64x2_t mask) {
+  return veorq_u64(vld1q_u64(p), mask);
+}
+
+}  // namespace
+
+void eval_ops_neon_w4(const compiled_netlist::maj_op* ops, std::size_t num_ops,
+                      std::uint64_t* slots) {
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const auto& o = ops[i];
+    const std::uint64_t* pa = slots + static_cast<std::size_t>(o.a >> 1) * 4;
+    const std::uint64_t* pb = slots + static_cast<std::size_t>(o.b >> 1) * 4;
+    const std::uint64_t* pc = slots + static_cast<std::size_t>(o.c >> 1) * 4;
+    std::uint64_t* pt = slots + static_cast<std::size_t>(o.target) * 4;
+    const uint64x2_t ma = vdupq_n_u64(complement_mask(o.a));
+    const uint64x2_t mb = vdupq_n_u64(complement_mask(o.b));
+    const uint64x2_t mc = vdupq_n_u64(complement_mask(o.c));
+    const uint64x2_t lo = maj128(load_xor(pa, ma), load_xor(pb, mb), load_xor(pc, mc));
+    const uint64x2_t hi =
+        maj128(load_xor(pa + 2, ma), load_xor(pb + 2, mb), load_xor(pc + 2, mc));
+    vst1q_u64(pt, lo);
+    vst1q_u64(pt + 2, hi);
+  }
+}
+
+void eval_ops_neon_w8(const compiled_netlist::maj_op* ops, std::size_t num_ops,
+                      std::uint64_t* slots) {
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const auto& o = ops[i];
+    const std::uint64_t* pa = slots + static_cast<std::size_t>(o.a >> 1) * 8;
+    const std::uint64_t* pb = slots + static_cast<std::size_t>(o.b >> 1) * 8;
+    const std::uint64_t* pc = slots + static_cast<std::size_t>(o.c >> 1) * 8;
+    std::uint64_t* pt = slots + static_cast<std::size_t>(o.target) * 8;
+    const uint64x2_t ma = vdupq_n_u64(complement_mask(o.a));
+    const uint64x2_t mb = vdupq_n_u64(complement_mask(o.b));
+    const uint64x2_t mc = vdupq_n_u64(complement_mask(o.c));
+    for (std::size_t j = 0; j < 8; j += 2) {
+      vst1q_u64(pt + j, maj128(load_xor(pa + j, ma), load_xor(pb + j, mb),
+                               load_xor(pc + j, mc)));
+    }
+  }
+}
+
+}  // namespace wavemig::engine::detail
+
+#endif  // WAVEMIG_HAVE_NEON

@@ -1,9 +1,10 @@
 #pragma once
 
 // Internal kernel interface between the portable block evaluator
-// (compiled_netlist.cpp) and the AVX2 translation unit (kernel_avx2.cpp,
-// compiled with -mavx2 behind the WAVEMIG_ENABLE_AVX2 CMake option). Not
-// installed; nothing outside src/engine includes this.
+// (compiled_netlist.cpp) and the SIMD translation units (kernel_avx2.cpp,
+// compiled with -mavx2 behind the WAVEMIG_ENABLE_AVX2 CMake option, and
+// kernel_neon.cpp behind WAVEMIG_ENABLE_NEON on arm64). Not installed;
+// nothing outside src/engine includes this.
 //
 // Slot layout of a W-word block: `slots[s * W + j]` is word j (= chunk j of
 // the block) of value slot s. Every kernel reads all three operand words of
@@ -50,6 +51,20 @@ bool avx2_supported();
 void eval_ops_avx2_w4(const compiled_netlist::maj_op* ops, std::size_t num_ops,
                       std::uint64_t* slots);
 void eval_ops_avx2_w8(const compiled_netlist::maj_op* ops, std::size_t num_ops,
+                      std::uint64_t* slots);
+#endif
+
+#if defined(WAVEMIG_HAVE_NEON)
+/// True when the running CPU supports NEON/ASIMD. On AArch64 it is part of
+/// the baseline ISA, so this is a constant — kept as a function to mirror
+/// the AVX2 dispatch shape.
+bool neon_supported();
+
+/// NEON kernels over 4- and 8-word slot blocks (two / four uint64x2_t lanes
+/// per slot). Bit-identical to eval_ops_portable<4|8>.
+void eval_ops_neon_w4(const compiled_netlist::maj_op* ops, std::size_t num_ops,
+                      std::uint64_t* slots);
+void eval_ops_neon_w8(const compiled_netlist::maj_op* ops, std::size_t num_ops,
                       std::uint64_t* slots);
 #endif
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "block_splice.hpp"
+
 namespace wavemig::engine {
 
 // ------------------------------------------------------------ executor ---
@@ -121,21 +123,24 @@ packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_ba
   // at least two tasks per worker where possible (parallelism beats kernel
   // width when the batch cannot feed both), growing to max_block_chunks
   // once the batch is large enough to keep every worker busy at full
-  // width. Every block writes a disjoint slice of the chunk-major result,
-  // so the assembly is deterministic by construction — and the result words
-  // are identical at every block size.
+  // width. Sharding slices the batch's plane view — same planes, offset
+  // base, no copy — and every block writes a disjoint chunk range of each
+  // result plane, so the assembly is deterministic by construction and the
+  // result words are identical at every block size.
   const std::size_t num_chunks = waves.num_chunks();
   const std::size_t threads = std::max(1u, executor.num_threads());
   const std::size_t block = std::clamp<std::size_t>(num_chunks / (2 * threads), 1,
                                                     compiled_netlist::max_block_chunks);
   const std::size_t num_blocks = (num_chunks + block - 1) / block;
+  const wave_block_view pis = waves.view();
+  const wave_block_mut_view pos{result.words.data(), num_chunks, net.num_pos(), num_chunks};
   executor.for_each(num_blocks, [&](std::size_t b, unsigned worker) {
     const std::size_t first = b * block;
     const std::size_t count = std::min(block, num_chunks - first);
-    eval_packed_block(net, waves.chunk_words(first),
-                      result.words.data() + first * net.num_pos(), count,
-                      executor.scratch(worker));
+    eval_packed_planes(net, pis.slice(first, count), pos.slice(first, count),
+                       executor.scratch(worker));
   });
+  detail::mask_result_tail(result);
   return result;
 }
 
@@ -171,8 +176,10 @@ void parallel_wave_stream::dispatch_block() {
     ++in_flight_;
   }
   executor_.submit([this, job](unsigned worker) {
-    eval_packed_block(net_, job->inputs.chunk_words(0), job->out.data(),
-                      job->inputs.num_chunks(), executor_.scratch(worker));
+    const std::size_t chunks = job->inputs.num_chunks();
+    eval_packed_planes(net_, job->inputs.view(),
+                       {job->out.data(), chunks, net_.num_pos(), chunks},
+                       executor_.scratch(worker));
     completed_.fetch_add(job->inputs.num_waves(), std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock{mutex_};
     if (--in_flight_ == 0) {
@@ -196,10 +203,25 @@ packed_wave_result parallel_wave_stream::finish() {
   result.num_pos = net_.num_pos();
   result.num_waves = pushed_;
   fill_packed_clock_metrics(result, net_, phases_, pushed_);
-  result.words.reserve((pushed_ + 63) / 64 * net_.num_pos());
-  for (const auto& job : jobs_) {
-    result.words.insert(result.words.end(), job.out.begin(), job.out.end());
+  if (jobs_.size() == 1) {
+    // A single block already has the result's plane stride.
+    result.words = std::move(jobs_.front().out);
+  } else if (!jobs_.empty()) {
+    // Splice each job's plane-major block (stride == its own chunk count)
+    // into the full-width result planes — contiguous chunk-word copies, in
+    // push order, so the words are bit-identical to the single-threaded
+    // packed path.
+    const std::size_t total_chunks = result.num_chunks();
+    result.words.resize(total_chunks * net_.num_pos());
+    std::size_t chunk_offset = 0;
+    for (const auto& job : jobs_) {
+      const std::size_t job_chunks = job.inputs.num_chunks();
+      detail::splice_block_planes(job.out.data(), job_chunks, result.words.data(),
+                                  total_chunks, chunk_offset, net_.num_pos());
+      chunk_offset += job_chunks;
+    }
   }
+  detail::mask_result_tail(result);
 
   jobs_.clear();
   pushed_ = 0;

@@ -28,7 +28,12 @@ void serving_session::submit(mig_network net, wave_batch waves, unsigned phases,
     if (closed_) {
       throw std::runtime_error{"serving_session: submit after close"};
     }
-    queue_.push_back({std::move(net), std::move(waves), phases, std::move(on_complete)});
+    request req;
+    req.net = std::move(net);
+    req.waves = std::move(waves);
+    req.phases = phases;
+    req.done = std::move(on_complete);
+    queue_.push_back(std::move(req));
   }
   queue_ready_.notify_one();
 }
@@ -45,6 +50,42 @@ std::future<packed_wave_result> serving_session::submit(mig_network net, wave_ba
              promise->set_value(std::move(result));
            }
          });
+  return future;
+}
+
+void serving_session::submit_packed(mig_network net, std::vector<std::uint64_t> plane_words,
+                                    std::size_t num_waves, unsigned phases,
+                                    serving_callback on_complete) {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (closed_) {
+      throw std::runtime_error{"serving_session: submit after close"};
+    }
+    request req;
+    req.net = std::move(net);
+    req.plane_words = std::move(plane_words);
+    req.packed_waves = num_waves;
+    req.packed = true;
+    req.phases = phases;
+    req.done = std::move(on_complete);
+    queue_.push_back(std::move(req));
+  }
+  queue_ready_.notify_one();
+}
+
+std::future<packed_wave_result> serving_session::submit_packed(
+    mig_network net, std::vector<std::uint64_t> plane_words, std::size_t num_waves,
+    unsigned phases) {
+  auto promise = std::make_shared<std::promise<packed_wave_result>>();
+  auto future = promise->get_future();
+  submit_packed(std::move(net), std::move(plane_words), num_waves, phases,
+                [promise](packed_wave_result result, std::exception_ptr error) {
+                  if (error) {
+                    promise->set_exception(error);
+                  } else {
+                    promise->set_value(std::move(result));
+                  }
+                });
   return future;
 }
 
@@ -68,6 +109,14 @@ void serving_session::dispatcher_loop() {
     packed_wave_result result;
     std::exception_ptr error;
     try {
+      if (req.packed) {
+        // Zero-copy adoption of the caller's plane-major words. The size
+        // validation throws here — on the dispatcher — so a malformed
+        // packed request surfaces through the future like any other
+        // validation error.
+        req.waves = wave_batch::from_plane_words(std::move(req.plane_words),
+                                                 req.net.num_pis(), req.packed_waves);
+      }
       result = session_.run(req.net, req.waves, req.phases);
     } catch (...) {
       error = std::current_exception();

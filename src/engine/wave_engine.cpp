@@ -1,8 +1,11 @@
 #include "wavemig/engine/wave_engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+
+#include "block_splice.hpp"
 
 namespace wavemig::engine {
 
@@ -35,6 +38,23 @@ void fill_clock_metrics(Result& result, const compiled_netlist& net, unsigned ph
   result.ticks = last_tick + 1;
 }
 
+/// Splices one masked 64-wave word into a plane at wave offset
+/// `base_wave` (the shared primitive of both bulk-append layouts): a low
+/// part into the partially filled chunk and, when the splice crosses a
+/// word boundary, a high part carried into the next one — two shifts,
+/// never per-bit. `total_chunks` bounds the carry store; when the carried
+/// bits would land past the final chunk they are provably zero
+/// (offset + valid wave bits <= 64), so the store is skipped.
+inline void splice_word(std::uint64_t* plane, std::uint64_t word, std::size_t base_wave,
+                        std::size_t total_chunks) {
+  const std::size_t offset = base_wave % 64;
+  const std::size_t lo_chunk = base_wave / 64;
+  plane[lo_chunk] |= word << offset;
+  if (offset != 0 && lo_chunk + 1 < total_chunks) {
+    plane[lo_chunk + 1] |= word >> (64 - offset);
+  }
+}
+
 }  // namespace
 
 void validate_packed_run(const compiled_netlist& net, std::size_t batch_pis, unsigned phases,
@@ -61,6 +81,25 @@ void fill_packed_clock_metrics(packed_wave_result& result, const compiled_netlis
   fill_clock_metrics(result, net, phases, num_waves);
 }
 
+void eval_packed_planes(const compiled_netlist& net, const wave_block_view& pis,
+                        const wave_block_mut_view& pos, std::vector<std::uint64_t>& scratch) {
+  if (pis.num_signals != net.num_pis() || pos.num_signals != net.num_pos() ||
+      pis.num_chunks != pos.num_chunks) {
+    throw std::invalid_argument{
+        "eval_packed_planes: view shapes must match the netlist (PI/PO planes) and each "
+        "other (chunk count)"};
+  }
+  // A stride below the chunk count would silently overlap adjacent planes —
+  // the one shape error that corrupts output instead of reading wrong data.
+  if ((pis.num_signals != 0 && pis.plane_stride < pis.num_chunks) ||
+      (pos.num_signals != 0 && pos.plane_stride < pos.num_chunks)) {
+    throw std::invalid_argument{
+        "eval_packed_planes: plane stride must be at least the chunk count"};
+  }
+  net.eval_planes_block(pis.planes, pis.plane_stride, pos.planes, pos.plane_stride,
+                        pis.num_chunks, scratch);
+}
+
 void eval_packed_chunk(const compiled_netlist& net, const std::uint64_t* chunk_words,
                        std::uint64_t* out_words, std::vector<std::uint64_t>& scratch) {
   net.eval_words_into(chunk_words, out_words, scratch);
@@ -72,17 +111,49 @@ void eval_packed_block(const compiled_netlist& net, const std::uint64_t* chunk_w
   net.eval_words_block(chunk_words, out_words, num_chunks, scratch);
 }
 
+// --------------------------------------------------------- wave_batch ---
+
+void wave_batch::ensure_chunk_capacity(std::size_t chunks) {
+  if (chunks <= chunk_capacity_) {
+    return;
+  }
+  // Geometric growth keeps per-wave append amortized O(1) even though a
+  // re-stride moves every plane.
+  const std::size_t new_capacity = std::max(chunks, 2 * chunk_capacity_);
+  std::vector<std::uint64_t> grown(num_pis_ * new_capacity, 0);
+  if (const std::size_t used = num_chunks(); used != 0) {
+    for (std::size_t i = 0; i < num_pis_; ++i) {
+      std::memcpy(grown.data() + i * new_capacity, words_.data() + i * chunk_capacity_,
+                  used * sizeof(std::uint64_t));
+    }
+  }
+  words_.swap(grown);
+  chunk_capacity_ = new_capacity;
+}
+
+void wave_batch::clear() {
+  // Zero only the words that carried waves — spare capacity is zero by
+  // invariant — so the storage is immediately reusable.
+  if (const std::size_t used = num_chunks(); used != 0) {
+    for (std::size_t i = 0; i < num_pis_; ++i) {
+      std::memset(words_.data() + i * chunk_capacity_, 0, used * sizeof(std::uint64_t));
+    }
+  }
+  num_waves_ = 0;
+}
+
 void wave_batch::append(const std::vector<bool>& wave) {
   if (wave.size() != num_pis_) {
     throw std::invalid_argument{"wave_batch: each wave needs one value per primary input"};
   }
   const std::size_t bit = num_waves_ % 64;
   if (bit == 0) {
-    words_.insert(words_.end(), num_pis_, 0);
+    ensure_chunk_capacity(num_waves_ / 64 + 1);
   }
-  std::uint64_t* chunk = words_.data() + (num_waves_ / 64) * num_pis_;
-  for (std::size_t i = 0; i < num_pis_; ++i) {
-    chunk[i] |= static_cast<std::uint64_t>(wave[i]) << bit;
+  const std::size_t chunk = num_waves_ / 64;
+  std::uint64_t* words = words_.data() + chunk;
+  for (std::size_t i = 0; i < num_pis_; ++i, words += chunk_capacity_) {
+    *words |= static_cast<std::uint64_t>(wave[i]) << bit;
   }
   ++num_waves_;
 }
@@ -92,49 +163,94 @@ void wave_batch::append_words(const std::uint64_t* words, std::size_t num_waves)
     return;
   }
   const std::size_t in_chunks = (num_waves + 63) / 64;
+  const std::size_t total = num_waves_ + num_waves;
+  const std::size_t total_chunks = (total + 63) / 64;
+  ensure_chunk_capacity(total_chunks);
+
+  // Each incoming chunk-major word is masked to its valid waves and spliced
+  // into its plane. The aligned case (offset 0) degenerates to `lo |= w`
+  // into zeroed words. Chunk-outer iteration keeps the chunk-major source
+  // sequential.
+  for (std::size_t c = 0; c < in_chunks; ++c) {
+    const std::uint64_t* in = words + c * num_pis_;
+    const std::size_t valid = std::min<std::size_t>(64, num_waves - c * 64);
+    const std::uint64_t valid_mask =
+        valid == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << valid) - 1;
+    for (std::size_t i = 0; i < num_pis_; ++i) {
+      splice_word(words_.data() + i * chunk_capacity_, in[i] & valid_mask,
+                  num_waves_ + c * 64, total_chunks);
+    }
+  }
+  num_waves_ = total;
+}
+
+void wave_batch::append_planes(const std::uint64_t* planes, std::size_t plane_stride,
+                               std::size_t num_waves) {
+  if (num_waves == 0) {
+    return;
+  }
+  const std::size_t in_chunks = (num_waves + 63) / 64;
   const std::size_t offset = num_waves_ % 64;
   const std::size_t total = num_waves_ + num_waves;
-  words_.resize(((total + 63) / 64) * num_pis_, 0);
+  const std::size_t total_chunks = (total + 63) / 64;
+  ensure_chunk_capacity(total_chunks);
 
+  const std::size_t tail = num_waves % 64;
+  const std::uint64_t tail_mask = tail == 0 ? ~std::uint64_t{0}
+                                            : (std::uint64_t{1} << tail) - 1;
   if (offset == 0) {
-    std::copy(words, words + in_chunks * num_pis_,
-              words_.begin() + static_cast<std::ptrdiff_t>((num_waves_ / 64) * num_pis_));
-    // Stray bits above num_waves in the caller's last chunk must not leak
-    // into waves appended later.
-    if (const std::size_t tail = num_waves % 64; tail != 0) {
-      const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
-      std::uint64_t* last = words_.data() + (total / 64) * num_pis_;
-      for (std::size_t i = 0; i < num_pis_; ++i) {
-        last[i] &= mask;
-      }
+    // Aligned: one contiguous copy per plane, then mask the incoming tail.
+    for (std::size_t i = 0; i < num_pis_; ++i) {
+      std::uint64_t* dst = words_.data() + i * chunk_capacity_ + num_waves_ / 64;
+      std::memcpy(dst, planes + i * plane_stride, in_chunks * sizeof(std::uint64_t));
+      dst[in_chunks - 1] &= tail_mask;
     }
   } else {
-    // Unaligned: each incoming word splits into a low part spliced into the
-    // partially filled chunk and a high part carried into the next one —
-    // two shifts per word, never per-bit.
-    for (std::size_t c = 0; c < in_chunks; ++c) {
-      const std::uint64_t* in = words + c * num_pis_;
-      const std::size_t valid = std::min<std::size_t>(64, num_waves - c * 64);
-      const std::uint64_t valid_mask =
-          valid == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << valid) - 1;
-      const std::size_t base = num_waves_ + c * 64;
-      const std::size_t hi_chunk = base / 64 + 1;
-      std::uint64_t* lo = words_.data() + (base / 64) * num_pis_;
-      // When the spliced waves fit inside the low chunk no high chunk was
-      // allocated — and the carried bits are provably zero then.
-      std::uint64_t* hi = (hi_chunk + 1) * num_pis_ <= words_.size()
-                              ? words_.data() + hi_chunk * num_pis_
-                              : nullptr;
-      for (std::size_t i = 0; i < num_pis_; ++i) {
-        const std::uint64_t w = in[i] & valid_mask;
-        lo[i] |= w << offset;
-        if (hi != nullptr) {
-          hi[i] |= w >> (64 - offset);
-        }
+    // Plane-outer iteration keeps the plane-major source sequential.
+    for (std::size_t i = 0; i < num_pis_; ++i) {
+      const std::uint64_t* src = planes + i * plane_stride;
+      std::uint64_t* plane = words_.data() + i * chunk_capacity_;
+      for (std::size_t c = 0; c < in_chunks; ++c) {
+        splice_word(plane, c + 1 == in_chunks ? src[c] & tail_mask : src[c],
+                    num_waves_ + c * 64, total_chunks);
       }
     }
   }
   num_waves_ = total;
+}
+
+wave_batch wave_batch::from_plane_words(std::vector<std::uint64_t> words, std::size_t num_pis,
+                                        std::size_t num_waves) {
+  const std::size_t chunks = (num_waves + 63) / 64;
+  if (words.size() != chunks * num_pis) {
+    throw std::invalid_argument{
+        "wave_batch: plane words must hold ceil(num_waves / 64) chunks per primary input"};
+  }
+  wave_batch batch{num_pis};
+  batch.words_ = std::move(words);
+  batch.chunk_capacity_ = chunks;
+  batch.num_waves_ = num_waves;
+  // Restore the tail invariant: the adopted buffer may carry stray bits
+  // above num_waves in each plane's last chunk.
+  if (const std::size_t tail = num_waves % 64; tail != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+    for (std::size_t i = 0; i < num_pis; ++i) {
+      batch.words_[i * chunks + chunks - 1] &= mask;
+    }
+  }
+  return batch;
+}
+
+std::vector<std::uint64_t> wave_batch::chunk_major_words() const {
+  const std::size_t chunks = num_chunks();
+  std::vector<std::uint64_t> out(chunks * num_pis_);
+  for (std::size_t i = 0; i < num_pis_; ++i) {
+    const std::uint64_t* plane = words_.data() + i * chunk_capacity_;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      out[c * num_pis_ + i] = plane[c];
+    }
+  }
+  return out;
 }
 
 wave_batch wave_batch::from_waves(const std::vector<std::vector<bool>>& waves,
@@ -147,16 +263,30 @@ wave_batch wave_batch::from_waves(const std::vector<std::vector<bool>>& waves,
   return batch;
 }
 
+// -------------------------------------------------- packed_wave_result ---
+
+std::vector<std::uint64_t> packed_wave_result::chunk_major_words() const {
+  const std::size_t chunks = num_chunks();
+  std::vector<std::uint64_t> out(chunks * num_pos);
+  for (std::size_t p = 0; p < num_pos; ++p) {
+    const std::uint64_t* po_plane = words.data() + p * chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      out[c * num_pos + p] = po_plane[c];
+    }
+  }
+  return out;
+}
+
 std::vector<std::vector<bool>> packed_wave_result::unpack() const {
   std::vector<std::vector<bool>> out(num_waves, std::vector<bool>(num_pos, false));
   // Word-at-a-time transpose: load each packed word once and fan its lanes
   // out, instead of recomputing chunk/bit indices per (wave, output) pair.
-  const std::size_t num_chunks = (num_waves + 63) / 64;
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    const std::size_t lanes = std::min<std::size_t>(64, num_waves - c * 64);
-    const std::uint64_t* chunk = words.data() + c * num_pos;
-    for (std::size_t p = 0; p < num_pos; ++p) {
-      std::uint64_t word = chunk[p];
+  const std::size_t chunks = num_chunks();
+  for (std::size_t p = 0; p < num_pos; ++p) {
+    const std::uint64_t* po_plane = words.data() + p * chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lanes = std::min<std::size_t>(64, num_waves - c * 64);
+      std::uint64_t word = po_plane[c];
       for (std::size_t b = 0; b < lanes; ++b, word >>= 1) {
         if ((word & 1u) != 0) {
           out[c * 64 + b][p] = true;
@@ -166,6 +296,8 @@ std::vector<std::vector<bool>> packed_wave_result::unpack() const {
   }
   return out;
 }
+
+// --------------------------------------------------------- scalar path ---
 
 wave_run_result run_waves(const compiled_netlist& net,
                           const std::vector<std::vector<bool>>& waves, unsigned phases) {
@@ -315,6 +447,8 @@ wave_run_result run_waves(const compiled_netlist& net,
   return result;
 }
 
+// --------------------------------------------------------- packed path ---
+
 packed_wave_result run_waves_packed(const compiled_netlist& net, const wave_batch& waves,
                                     unsigned phases) {
   validate_packed_run(net, waves.num_pis(), phases, "run_waves_packed");
@@ -325,12 +459,15 @@ packed_wave_result run_waves_packed(const compiled_netlist& net, const wave_batc
   fill_clock_metrics(result, net, phases, waves.num_waves());
   result.words.resize(waves.num_chunks() * net.num_pos());
 
-  // The batch's words are contiguous chunk-major, so the whole run is one
-  // multi-word block evaluation (internally split into word-blocks of
-  // compiled_netlist::max_block_chunks).
+  // Plane-major on both sides: the whole run is one multi-word block
+  // evaluation (internally split into word-blocks of
+  // compiled_netlist::max_block_chunks) with unit-stride PI/PO word I/O.
   std::vector<std::uint64_t> scratch;
-  eval_packed_block(net, waves.chunk_words(0), result.words.data(), waves.num_chunks(),
-                    scratch);
+  eval_packed_planes(net, waves.view(),
+                     {result.words.data(), waves.num_chunks(), net.num_pos(),
+                      waves.num_chunks()},
+                     scratch);
+  detail::mask_result_tail(result);
   return result;
 }
 
@@ -353,14 +490,15 @@ void wave_stream::flush_pending() {
   // The expected-waves hint is applied lazily at the first flush of a run,
   // so a hinted stream that is finished and discarded (or reset and never
   // reused) does not pay for a full result buffer it will not fill.
-  if (result_.words.empty() && expected_waves_ != 0) {
-    result_.words.reserve(((expected_waves_ + 63) / 64) * net_.num_pos());
+  if (done_words_.empty() && expected_waves_ != 0) {
+    done_words_.reserve(((expected_waves_ + 63) / 64) * net_.num_pos());
   }
-  const std::size_t out_words = pending_.num_chunks() * net_.num_pos();
-  result_.words.resize(result_.words.size() + out_words);
-  eval_packed_block(net_, pending_.chunk_words(0),
-                    result_.words.data() + result_.words.size() - out_words,
-                    pending_.num_chunks(), scratch_);
+  const std::size_t chunks = pending_.num_chunks();
+  const std::size_t out_words = chunks * net_.num_pos();
+  done_words_.resize(done_words_.size() + out_words);
+  std::uint64_t* out = done_words_.data() + done_words_.size() - out_words;
+  eval_packed_planes(net_, pending_.view(), {out, chunks, net_.num_pos(), chunks}, scratch_);
+  done_chunks_.push_back(chunks);
   completed_ += pending_.num_waves();
   pending_.clear();  // keeps the packed-word storage for the next block
 }
@@ -369,11 +507,28 @@ packed_wave_result wave_stream::finish() {
   if (!pending_.empty()) {
     flush_pending();
   }
-  result_.num_pos = net_.num_pos();
-  result_.num_waves = completed_;
-  fill_clock_metrics(result_, net_, phases_, completed_);
-  packed_wave_result out = std::move(result_);
-  result_ = {};
+  packed_wave_result out;
+  out.num_pos = net_.num_pos();
+  out.num_waves = completed_;
+  fill_clock_metrics(out, net_, phases_, completed_);
+  if (done_chunks_.size() <= 1) {
+    // Zero or one block: the buffer already has the result's plane stride.
+    out.words = std::move(done_words_);
+  } else {
+    out.words.resize(out.num_chunks() * net_.num_pos());
+    std::size_t chunk_offset = 0;
+    std::size_t word_offset = 0;
+    for (const std::size_t block_chunks : done_chunks_) {
+      detail::splice_block_planes(done_words_.data() + word_offset, block_chunks,
+                                  out.words.data(), out.num_chunks(), chunk_offset,
+                                  net_.num_pos());
+      chunk_offset += block_chunks;
+      word_offset += block_chunks * net_.num_pos();
+    }
+  }
+  detail::mask_result_tail(out);
+  done_words_ = {};
+  done_chunks_.clear();
   pushed_ = 0;
   completed_ = 0;
   return out;

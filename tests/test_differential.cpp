@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <random>
 #include <sstream>
@@ -99,13 +100,30 @@ void expect_paths_agree(const diff_case& c, engine::parallel_executor& executor,
     const auto opt_packed = engine::run_waves_packed(opt, batch, c.phases);
     EXPECT_EQ(opt_packed.words, packed.words) << what << ": opt level " << level;
 
+    // The W=1 chunk-major kernel is the layout-independent reference:
+    // transpose its chunk-major outputs to plane-major and compare.
+    const auto chunk_major = batch.chunk_major_words();
     std::vector<std::uint64_t> single(batch.num_chunks() * opt.num_pos());
     std::vector<std::uint64_t> scratch;
     for (std::size_t chunk = 0; chunk < batch.num_chunks(); ++chunk) {
-      engine::eval_packed_chunk(opt, batch.chunk_words(chunk),
+      engine::eval_packed_chunk(opt, chunk_major.data() + chunk * opt.num_pis(),
                                 single.data() + chunk * opt.num_pos(), scratch);
     }
-    EXPECT_EQ(single, packed.words) << what << ": W=1 kernel, opt level " << level;
+    // Front-end results mask the bits above num_waves in the last chunk;
+    // the raw W=1 kernel does not — mask here to compare.
+    const std::size_t tail = batch.num_waves() % 64;
+    const std::uint64_t tail_mask =
+        tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
+    std::vector<std::uint64_t> single_planes(single.size());
+    for (std::size_t chunk = 0; chunk < batch.num_chunks(); ++chunk) {
+      const std::uint64_t mask =
+          chunk + 1 == batch.num_chunks() ? tail_mask : ~std::uint64_t{0};
+      for (std::size_t p = 0; p < opt.num_pos(); ++p) {
+        single_planes[p * batch.num_chunks() + chunk] =
+            single[chunk * opt.num_pos() + p] & mask;
+      }
+    }
+    EXPECT_EQ(single_planes, packed.words) << what << ": W=1 kernel, opt level " << level;
   }
 }
 
@@ -180,6 +198,101 @@ TEST(differential, buffer_strategies_never_change_the_function) {
     EXPECT_TRUE(functionally_equivalent(net, balanced.net))
         << "strategy " << static_cast<int>(strategy);
   }
+}
+
+// ---------------------------------------------------- layout fuzzing ---
+
+/// Chunk-major <-> plane-major transpose is an involution: random packed
+/// words pushed through `append_words` (chunk-major in) must read back
+/// identically through `chunk_major_words()` (chunk-major out), and the
+/// plane-major image must re-ingest through every plane path
+/// (`append_planes`, `from_plane_words`) to the same batch. Stray bits
+/// above num_waves are injected and must never survive.
+TEST(differential, layout_round_trip_is_an_involution) {
+  std::mt19937_64 rng{0xBEEF};
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t num_pis = 1 + rng() % 12;
+    const std::size_t num_waves = 1 + rng() % 600;
+    const std::size_t chunks = (num_waves + 63) / 64;
+
+    std::vector<std::uint64_t> chunk_major(chunks * num_pis);
+    for (auto& w : chunk_major) {
+      w = rng();  // includes stray bits above num_waves in the last chunk
+    }
+
+    engine::wave_batch batch{num_pis};
+    batch.append_words(chunk_major.data(), num_waves);
+    ASSERT_EQ(batch.num_waves(), num_waves);
+
+    // Round trip back to chunk-major: every valid bit preserved, every
+    // stray bit masked.
+    const auto round_tripped = batch.chunk_major_words();
+    const std::size_t tail = num_waves % 64;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::uint64_t mask = (c + 1 == chunks && tail != 0)
+                                     ? (std::uint64_t{1} << tail) - 1
+                                     : ~std::uint64_t{0};
+      for (std::size_t i = 0; i < num_pis; ++i) {
+        ASSERT_EQ(round_tripped[c * num_pis + i], chunk_major[c * num_pis + i] & mask)
+            << "round " << round << " chunk " << c << " pi " << i;
+      }
+    }
+
+    // Plane-major image -> plane ingestion paths -> same planes.
+    std::vector<std::uint64_t> planes(chunks * num_pis);
+    for (std::size_t i = 0; i < num_pis; ++i) {
+      std::copy_n(batch.plane(i), chunks,
+                  planes.begin() + static_cast<std::ptrdiff_t>(i * chunks));
+    }
+    const auto adopted = engine::wave_batch::from_plane_words(planes, num_pis, num_waves);
+    engine::wave_batch appended{num_pis};
+    appended.append_planes(planes.data(), chunks, num_waves);
+    for (std::size_t i = 0; i < num_pis; ++i) {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        ASSERT_EQ(adopted.plane(i)[c], batch.plane(i)[c]) << "adopt, round " << round;
+        ASSERT_EQ(appended.plane(i)[c], batch.plane(i)[c]) << "append, round " << round;
+      }
+    }
+    EXPECT_EQ(adopted.chunk_major_words(), round_tripped) << "round " << round;
+  }
+}
+
+/// The zero-copy serving path (pre-transposed plane words adopted without
+/// repacking) against the scalar reference: bit-identical outputs at every
+/// wave count including the tail-chunk corners.
+TEST(differential, submit_packed_agrees_with_scalar_run_waves) {
+  engine::parallel_executor executor{4};
+  engine::serving_session serving{executor, {}, {}, 0, {.opt_level = 2}};
+
+  for (const std::size_t num_waves : {1ull, 63ull, 64ull, 65ull, 257ull, 511ull}) {
+    const auto net = gen::random_mig({12, 140, 0.5, 9, 5000 + num_waves});
+    const auto balanced = insert_buffers(net);
+    const auto waves = random_waves(num_waves, net.num_pis(), num_waves * 17 + 3);
+    const auto batch = engine::wave_batch::from_waves(waves, net.num_pis());
+
+    // Pre-transposed plane words, exactly what a zero-copy producer holds.
+    std::vector<std::uint64_t> planes(batch.num_chunks() * net.num_pis());
+    for (std::size_t i = 0; i < net.num_pis(); ++i) {
+      std::copy_n(batch.plane(i), batch.num_chunks(),
+                  planes.begin() + static_cast<std::ptrdiff_t>(i * batch.num_chunks()));
+    }
+
+    const auto async = serving.submit_packed(net, std::move(planes), num_waves, 3).get();
+    const auto scalar = run_waves(balanced.net, waves, 3, balanced.schedule);
+    ASSERT_EQ(async.unpack(), scalar.outputs) << num_waves << " waves";
+    EXPECT_EQ(async.ticks, scalar.ticks) << num_waves << " waves";
+
+    // And bit-identical to the packed path on the same balanced program.
+    const engine::compiled_netlist compiled{balanced.net, balanced.schedule};
+    const auto packed = engine::run_waves_packed(compiled, batch, 3);
+    EXPECT_EQ(async.words, packed.words) << num_waves << " waves";
+  }
+
+  // Malformed plane words surface through the future, like every other
+  // validation error of the serving API.
+  const auto net = gen::random_mig({8, 60, 0.5, 6, 99});
+  auto bad = serving.submit_packed(net, std::vector<std::uint64_t>(3, 0), 100, 3);
+  EXPECT_THROW((void)bad.get(), std::invalid_argument);
 }
 
 // ------------------------------------------------------- BLIF fuzzing ---

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <utility>
 
 #include "wavemig/buffer_insertion.hpp"
 #include "wavemig/engine/compiled_netlist.hpp"
@@ -247,8 +249,9 @@ TEST(wave_batch, append_words_matches_per_wave_append) {
   const auto packed = engine::wave_batch::from_waves(waves, num_pis);
 
   // Aligned bulk append: empty batch, multiple chunks, partial tail.
+  const auto chunk_major = packed.chunk_major_words();
   engine::wave_batch aligned{num_pis};
-  aligned.append_words(packed.chunk_words(0), waves.size());
+  aligned.append_words(chunk_major.data(), waves.size());
   ASSERT_EQ(aligned.num_waves(), waves.size());
   for (std::size_t w = 0; w < waves.size(); ++w) {
     for (std::size_t i = 0; i < num_pis; ++i) {
@@ -263,7 +266,7 @@ TEST(wave_batch, append_words_matches_per_wave_append) {
     for (std::size_t w = 0; w < prefix; ++w) {
       spliced.append(waves[w]);
     }
-    spliced.append_words(packed.chunk_words(0), waves.size());
+    spliced.append_words(chunk_major.data(), waves.size());
     ASSERT_EQ(spliced.num_waves(), prefix + waves.size());
     for (std::size_t w = 0; w < prefix + waves.size(); ++w) {
       const auto& expect = w < prefix ? waves[w] : waves[w - prefix];
@@ -321,17 +324,32 @@ TEST(packed_kernel, block_evaluation_is_bit_identical_to_per_chunk) {
     const auto waves = random_waves(num_waves, balanced.num_pis(), num_waves * 13 + 1);
     const auto batch = engine::wave_batch::from_waves(waves, balanced.num_pis());
 
+    const auto chunk_major = batch.chunk_major_words();
     std::vector<std::uint64_t> reference(batch.num_chunks() * compiled.num_pos());
     std::vector<std::uint64_t> scratch;
     for (std::size_t c = 0; c < batch.num_chunks(); ++c) {
-      engine::eval_packed_chunk(compiled, batch.chunk_words(c),
+      engine::eval_packed_chunk(compiled, chunk_major.data() + c * compiled.num_pis(),
                                 reference.data() + c * compiled.num_pos(), scratch);
     }
 
     std::vector<std::uint64_t> blocked(batch.num_chunks() * compiled.num_pos());
-    engine::eval_packed_block(compiled, batch.chunk_words(0), blocked.data(),
+    engine::eval_packed_block(compiled, chunk_major.data(), blocked.data(),
                               batch.num_chunks(), scratch);
     EXPECT_EQ(blocked, reference) << num_waves << " waves";
+
+    // The native plane-major entry must agree with both chunk-major paths
+    // modulo layout.
+    std::vector<std::uint64_t> planes(batch.num_chunks() * compiled.num_pos());
+    engine::eval_packed_planes(
+        compiled, batch.view(),
+        {planes.data(), batch.num_chunks(), compiled.num_pos(), batch.num_chunks()},
+        scratch);
+    for (std::size_t c = 0; c < batch.num_chunks(); ++c) {
+      for (std::size_t p = 0; p < compiled.num_pos(); ++p) {
+        ASSERT_EQ(planes[p * batch.num_chunks() + c], reference[c * compiled.num_pos() + p])
+            << num_waves << " waves, chunk " << c << " po " << p;
+      }
+    }
   }
 }
 
@@ -397,6 +415,197 @@ TEST(wave_stream, rejects_incoherent_netlists_and_bad_widths) {
   EXPECT_THROW((engine::wave_stream{compiled, 0}), std::invalid_argument);
   engine::wave_stream stream{compiled, 3};
   EXPECT_THROW(stream.push({true}), std::invalid_argument);
+}
+
+// ---------------------------------------------- plane-major data plane ---
+
+TEST(wave_batch, plane_view_exposes_the_transposed_words) {
+  const std::size_t num_pis = 5;
+  const auto waves = random_waves(200, num_pis, 3001);
+  const auto batch = engine::wave_batch::from_waves(waves, num_pis);
+
+  const auto view = batch.view();
+  EXPECT_EQ(view.num_signals, num_pis);
+  EXPECT_EQ(view.num_chunks, batch.num_chunks());
+  for (std::size_t i = 0; i < num_pis; ++i) {
+    ASSERT_EQ(view.plane(i), batch.plane(i));
+    for (std::size_t w = 0; w < waves.size(); ++w) {
+      ASSERT_EQ(((batch.plane(i)[w / 64] >> (w % 64)) & 1u) != 0, waves[w][i])
+          << "pi " << i << " wave " << w;
+    }
+  }
+
+  // A chunk slice is the same planes at an offset base (zero-copy sharding).
+  const auto slice = view.slice(1, 2);
+  EXPECT_EQ(slice.num_chunks, 2u);
+  for (std::size_t i = 0; i < num_pis; ++i) {
+    EXPECT_EQ(slice.plane(i), view.plane(i) + 1);
+  }
+}
+
+/// Satellite audit of the tail-chunk masking contract: at every
+/// non-multiple-of-64 wave count, per-bool append, chunk-major bulk append,
+/// plane-major bulk append and result unpack must mask identically — no
+/// stray bits above num_waves anywhere in the new layout.
+TEST(wave_batch, tail_chunks_mask_identically_across_ingestion_paths) {
+  const std::size_t num_pis = 6;
+  for (const std::size_t num_waves : {1ull, 63ull, 64ull, 65ull, 511ull}) {
+    const auto waves = random_waves(num_waves, num_pis, num_waves * 101 + 9);
+    const auto reference = engine::wave_batch::from_waves(waves, num_pis);
+    ASSERT_EQ(reference.num_chunks(), (num_waves + 63) / 64);
+
+    // Poison the unused tail bits of both bulk inputs: they must be ignored.
+    auto chunk_major = reference.chunk_major_words();
+    auto plane_major =
+        std::vector<std::uint64_t>(reference.num_chunks() * num_pis, 0);
+    for (std::size_t i = 0; i < num_pis; ++i) {
+      std::copy_n(reference.plane(i), reference.num_chunks(),
+                  plane_major.begin() + static_cast<std::ptrdiff_t>(i * reference.num_chunks()));
+    }
+    if (num_waves % 64 != 0) {
+      const std::uint64_t poison = ~((std::uint64_t{1} << (num_waves % 64)) - 1);
+      for (std::size_t i = 0; i < num_pis; ++i) {
+        chunk_major[(reference.num_chunks() - 1) * num_pis + i] |= poison;
+        plane_major[i * reference.num_chunks() + reference.num_chunks() - 1] |= poison;
+      }
+    }
+
+    engine::wave_batch from_chunks{num_pis};
+    from_chunks.append_words(chunk_major.data(), num_waves);
+    engine::wave_batch from_planes{num_pis};
+    from_planes.append_planes(plane_major.data(), reference.num_chunks(), num_waves);
+    const auto adopted =
+        engine::wave_batch::from_plane_words(plane_major, num_pis, num_waves);
+
+    for (const engine::wave_batch* batch :
+         {&std::as_const(from_chunks), &std::as_const(from_planes), &adopted}) {
+      ASSERT_EQ(batch->num_waves(), num_waves);
+      for (std::size_t i = 0; i < num_pis; ++i) {
+        for (std::size_t c = 0; c < batch->num_chunks(); ++c) {
+          ASSERT_EQ(batch->plane(i)[c], reference.plane(i)[c])
+              << num_waves << " waves, pi " << i << " chunk " << c;
+        }
+      }
+      // Appending right after the bulk ingest lands on clean bits.
+      auto copy = *batch;
+      copy.append(waves[0]);
+      for (std::size_t i = 0; i < num_pis; ++i) {
+        ASSERT_EQ(copy.input(num_waves, i), waves[0][i]) << num_waves << " waves";
+      }
+    }
+
+    // unpack() at the same wave counts: exactly num_waves rows, bit-exact.
+    const auto balanced = insert_buffers(gen::parity_circuit(num_pis)).net;
+    const engine::compiled_netlist compiled{balanced};
+    const auto run = engine::run_waves_packed(compiled, reference, 3);
+    const auto unpacked = run.unpack();
+    ASSERT_EQ(unpacked.size(), num_waves);
+    for (std::size_t w = 0; w < num_waves; ++w) {
+      for (std::size_t p = 0; p < run.num_pos; ++p) {
+        ASSERT_EQ(unpacked[w][p], run.output(w, p)) << num_waves << " waves, wave " << w;
+      }
+    }
+  }
+}
+
+TEST(wave_batch, append_planes_matches_append_words) {
+  const std::size_t num_pis = 9;
+  const auto waves = random_waves(150, num_pis, 71);
+  const auto packed = engine::wave_batch::from_waves(waves, num_pis);
+  const auto chunk_major = packed.chunk_major_words();
+
+  for (const std::size_t prefix : {0ull, 1ull, 63ull, 64ull, 100ull}) {
+    engine::wave_batch via_chunks{num_pis};
+    engine::wave_batch via_planes{num_pis};
+    for (std::size_t w = 0; w < prefix; ++w) {
+      via_chunks.append(waves[w]);
+      via_planes.append(waves[w]);
+    }
+    via_chunks.append_words(chunk_major.data(), waves.size());
+    via_planes.append_planes(packed.view().planes, packed.view().plane_stride, waves.size());
+    ASSERT_EQ(via_planes.num_waves(), via_chunks.num_waves()) << "prefix " << prefix;
+    for (std::size_t i = 0; i < num_pis; ++i) {
+      for (std::size_t c = 0; c < via_chunks.num_chunks(); ++c) {
+        ASSERT_EQ(via_planes.plane(i)[c], via_chunks.plane(i)[c])
+            << "prefix " << prefix << " pi " << i << " chunk " << c;
+      }
+    }
+  }
+}
+
+TEST(wave_batch, from_plane_words_adopts_and_validates) {
+  const std::size_t num_pis = 4;
+  const auto waves = random_waves(70, num_pis, 555);
+  const auto reference = engine::wave_batch::from_waves(waves, num_pis);
+
+  std::vector<std::uint64_t> planes(reference.num_chunks() * num_pis);
+  for (std::size_t i = 0; i < num_pis; ++i) {
+    std::copy_n(reference.plane(i), reference.num_chunks(),
+                planes.begin() + static_cast<std::ptrdiff_t>(i * reference.num_chunks()));
+  }
+  const auto adopted = engine::wave_batch::from_plane_words(planes, num_pis, waves.size());
+  ASSERT_EQ(adopted.num_waves(), waves.size());
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    for (std::size_t i = 0; i < num_pis; ++i) {
+      ASSERT_EQ(adopted.input(w, i), waves[w][i]);
+    }
+  }
+
+  // Size must be exactly chunks * num_pis.
+  EXPECT_THROW((void)engine::wave_batch::from_plane_words(
+                   std::vector<std::uint64_t>(num_pis * 2 + 1, 0), num_pis, 70),
+               std::invalid_argument);
+  EXPECT_THROW((void)engine::wave_batch::from_plane_words({}, num_pis, 70),
+               std::invalid_argument);
+}
+
+TEST(packed_waves, result_tail_bits_above_num_waves_are_zero) {
+  // A complemented output drives the kernel's tail lanes to 1 (the batch's
+  // zeroed tail inputs, inverted); the front-ends must mask them so result
+  // views uphold the containers' tail-zero invariant.
+  mig_network net;
+  const signal a = net.create_pi();
+  net.create_po(!a);
+  const engine::compiled_netlist compiled{net};
+
+  for (const std::size_t num_waves : {1ull, 63ull, 65ull, 511ull}) {
+    const auto waves = random_waves(num_waves, 1, num_waves);
+    const auto batch = engine::wave_batch::from_waves(waves, 1);
+    const auto run = engine::run_waves_packed(compiled, batch, 3);
+    const std::size_t tail = num_waves % 64;
+    ASSERT_NE(tail, 0u);
+    const std::uint64_t above = ~((std::uint64_t{1} << tail) - 1);
+    for (std::size_t p = 0; p < run.num_pos; ++p) {
+      EXPECT_EQ(run.plane(p)[run.num_chunks() - 1] & above, 0u)
+          << num_waves << " waves, po " << p;
+    }
+
+    engine::wave_stream stream{compiled, 3};
+    for (const auto& wave : waves) {
+      stream.push(wave);
+    }
+    const auto streamed = stream.finish();
+    for (std::size_t p = 0; p < streamed.num_pos; ++p) {
+      EXPECT_EQ(streamed.plane(p)[streamed.num_chunks() - 1] & above, 0u)
+          << num_waves << " waves (stream), po " << p;
+    }
+  }
+}
+
+TEST(packed_waves, chunk_major_adapter_round_trips_the_result) {
+  const auto balanced = insert_buffers(gen::multiplier_circuit(4)).net;
+  const engine::compiled_netlist compiled{balanced};
+  const auto waves = random_waves(130, balanced.num_pis(), 808);
+  const auto run = engine::run_waves_packed(
+      compiled, engine::wave_batch::from_waves(waves, balanced.num_pis()), 3);
+
+  const auto chunk_major = run.chunk_major_words();
+  ASSERT_EQ(chunk_major.size(), run.words.size());
+  for (std::size_t c = 0; c < run.num_chunks(); ++c) {
+    for (std::size_t p = 0; p < run.num_pos; ++p) {
+      ASSERT_EQ(chunk_major[c * run.num_pos + p], run.plane(p)[c]);
+    }
+  }
 }
 
 TEST(engine_scalar, matches_interpreter_semantics_on_unbalanced_nets) {
