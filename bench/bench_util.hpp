@@ -2,6 +2,8 @@
 
 // Shared formatting helpers for the table/figure reproduction binaries.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -30,6 +32,21 @@ inline std::string fmt(double value, int precision = 2) {
     std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
   }
   return buffer;
+}
+
+/// Nearest-rank percentile of `samples` (`p` in [0, 100]; p50 = median,
+/// p99 = tail): the value at rank ceil(p/100 * n), the standard
+/// latency-reporting convention — always an actual sample, never an
+/// interpolation. Sorts `samples` in place; returns 0 when empty.
+inline double percentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size());
+  std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  index = std::min(index, samples.size() - 1);
+  return samples[index];
 }
 
 /// True when `--json` was passed: the bench should emit machine-readable

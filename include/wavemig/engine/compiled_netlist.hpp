@@ -154,6 +154,28 @@ public:
   /// widening the datapath.
   static constexpr std::size_t max_block_chunks = 8;
 
+  /// Chunks per task when sharding a `num_chunks`-chunk batch across
+  /// `num_workers` workers — the partitioning every sharded front-end
+  /// (run_waves_parallel, the serving dispatcher's fused pool passes)
+  /// agrees on: full kernel width (`max_block_chunks`) on big batches so
+  /// dispatch amortizes, shrinking toward one chunk per task when the batch
+  /// is too small to feed every worker at full width (at least two tasks
+  /// per worker where possible — parallelism beats kernel width when the
+  /// batch cannot feed both).
+  static constexpr std::size_t shard_block_chunks(std::size_t num_chunks,
+                                                  std::size_t num_workers) {
+    const std::size_t workers = num_workers == 0 ? 1 : num_workers;
+    const std::size_t block = num_chunks / (2 * workers);
+    return block == 0 ? 1 : (block > max_block_chunks ? max_block_chunks : block);
+  }
+
+  /// Tasks `shard_block_chunks` splits a batch into.
+  static constexpr std::size_t shard_block_count(std::size_t num_chunks,
+                                                 std::size_t num_workers) {
+    const std::size_t block = shard_block_chunks(num_chunks, num_workers);
+    return (num_chunks + block - 1) / block;
+  }
+
   /// The native multi-word entry: evaluates `num_chunks` consecutive
   /// 64-wave chunks in word-blocks of up to `max_block_chunks`, with
   /// **plane-major** I/O — PI i's chunk words contiguous at

@@ -18,22 +18,78 @@
 
 namespace wavemig::engine {
 
+namespace detail {
+struct group_state;
+}  // namespace detail
+
+/// Completion token of `parallel_executor::submit_group`: a handle on a
+/// sharded run that was enqueued without blocking the caller. The caller can
+/// poll (`done`), park on it (`wait`), or — the non-blocking path the
+/// serving dispatcher uses — attach a completion callback at submit time and
+/// never wait at all. Default-constructed tokens are empty (`valid() ==
+/// false`); copies share the same underlying run.
+class task_group {
+public:
+  task_group() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  /// True once every task of the group finished (or was cancelled by an
+  /// earlier task's exception).
+  [[nodiscard]] bool done() const;
+  /// Blocks until the group completed. Must not be called from a task
+  /// running on the same executor (the parked worker may be the one the
+  /// group is waiting for). Does not rethrow — check `error()`.
+  void wait() const;
+  /// The first exception thrown by a task, or null. Stable once `done()`.
+  [[nodiscard]] std::exception_ptr error() const;
+
+private:
+  friend class parallel_executor;
+  explicit task_group(std::shared_ptr<detail::group_state> state)
+      : state_{std::move(state)} {}
+  std::shared_ptr<detail::group_state> state_;
+};
+
+/// Fired exactly once when a submitted group completes, on the worker that
+/// finished its last task; `error` is the group's first exception (null on
+/// success). Keep it light — it occupies a worker lane — and never block on
+/// the executor from inside it.
+using group_callback = std::function<void(std::exception_ptr)>;
+
 /// Persistent worker pool for sharded packed execution. Workers are spawned
 /// once and reused across runs, and each worker owns a scratch buffer that
 /// the chunk kernel reuses, so the steady-state hot path performs no
 /// allocation and no thread creation.
 ///
-/// The pool is a plain task runner: `for_each` shards an index space across
-/// the workers (this is what `run_waves_parallel` uses, one task per
-/// 64-wave chunk), `submit` enqueues a single asynchronous task (what
-/// `parallel_wave_stream` uses as chunks fill). Both are safe to call from
-/// multiple threads concurrently — independent `for_each` calls and streams
-/// can interleave on one executor.
+/// Scheduling is work-stealing over per-worker deques: every worker owns a
+/// deque of tasks and pushes/pops it under its own (uncontended) lock; a
+/// sharded run pre-partitions its plane-block tasks contiguously across the
+/// worker deques, so each worker walks its own ascending chunk range
+/// (prefetch-friendly) and only when its deque runs dry does it steal whole
+/// plane-blocks from the *back* of a victim's deque — the blocks farthest
+/// from where the victim is currently working. There is no single global
+/// queue mutex on the hot path: concurrent streams, sessions, and sharded
+/// runs contend only when they actually steal from each other.
 ///
-/// Precondition: never call `for_each` (or anything that blocks on the pool,
-/// e.g. `run_waves_parallel`, `batch_session::run`, or a stream's `finish`)
-/// from inside a task running on the same executor — the blocked worker is
-/// the one that would have to run the nested shards, which deadlocks.
+/// Three entry points:
+/// * `for_each` shards an index space and blocks until done (what
+///   `run_waves_parallel` uses).
+/// * `submit_group` is its non-blocking sibling: same sharding, returns a
+///   `task_group` completion token immediately — callers await (or attach a
+///   completion callback to) a sharded run without parking a thread inside
+///   the pool. This is what the serving dispatcher runs requests on.
+/// * `submit` enqueues a single asynchronous task (what
+///   `parallel_wave_stream` uses as blocks fill). Called from a worker of
+///   this executor, it lands on that worker's own deque.
+///
+/// All are safe to call from multiple threads concurrently.
+///
+/// Precondition: never *block on* the pool (`for_each`, `task_group::wait`,
+/// `run_waves_parallel`, `batch_session::run`, a stream's `finish`) from
+/// inside a task running on the same executor — the blocked worker is the
+/// one that would have to run the awaited tasks, which deadlocks.
+/// Fire-and-forget calls (`submit`, `submit_group` without waiting) are fine
+/// from inside tasks.
 class parallel_executor {
 public:
   /// `num_threads == 0` resolves to the hardware concurrency (at least 1).
@@ -48,12 +104,23 @@ public:
   }
 
   /// Runs `fn(task, worker)` for every task in [0, num_tasks). Tasks are
-  /// pulled dynamically by the workers (load-balanced, no fixed striping);
-  /// `worker` is the stable index of the executing worker in
+  /// pre-partitioned contiguously across the workers and rebalanced by
+  /// stealing; `worker` is the stable index of the executing worker in
   /// [0, num_threads()). Blocks until every task finished; the first
   /// exception thrown by `fn` is rethrown here after the remaining tasks
   /// have been cancelled.
   void for_each(std::size_t num_tasks, const std::function<void(std::size_t, unsigned)>& fn);
+
+  /// Non-blocking sibling of `for_each`: enqueues the sharded run and
+  /// returns its completion token immediately. The executor owns a copy of
+  /// `fn` until the group completes. `on_complete` (optional) fires exactly
+  /// once, on the worker that finishes the group's last task, with the
+  /// group's first error (null on success); a group of zero tasks completes
+  /// — and fires `on_complete` — before `submit_group` returns, on the
+  /// calling thread. An exception from a task cancels the group's remaining
+  /// tasks, exactly like `for_each`.
+  task_group submit_group(std::size_t num_tasks, std::function<void(std::size_t, unsigned)> fn,
+                          group_callback on_complete = {});
 
   /// Enqueues one asynchronous task; returns immediately. The task must not
   /// throw — route errors through state the submitter owns (see
@@ -67,28 +134,60 @@ public:
   }
 
 private:
+  /// One queued unit of work: either a plain submitted task (`fn`) or task
+  /// `index` of a sharded group. Group items carry a shared reference to
+  /// the group, so an item survives in a deque (or in a thief's hands) past
+  /// any other item's completion.
+  struct task_item {
+    std::function<void(unsigned)> fn;
+    std::shared_ptr<detail::group_state> group;
+    std::size_t index{0};
+  };
+
+  /// Per-worker deque. The owner pushes/pops the front, thieves take from
+  /// the back; the mutex is uncontended unless someone is actually
+  /// stealing. Padding out to a cache line would be a further refinement;
+  /// the mutex already keeps false sharing off the hot path.
+  struct work_deque {
+    std::mutex mutex;
+    std::deque<task_item> items;
+  };
+
+  task_group submit_group_impl(std::size_t num_tasks,
+                               std::function<void(std::size_t, unsigned)> fn,
+                               group_callback on_complete);
   void worker_loop(unsigned worker);
+  /// Pops the next item for `worker` (own deque first, then steals). False
+  /// when the executor is stopping and every deque is drained.
+  bool next_item(unsigned worker, task_item& item);
+  void run_item(task_item& item, unsigned worker);
+  void push_item(unsigned deque_index, task_item item);
+  /// Wakes sleepers after `count` new items were made visible.
+  void notify_new_work(std::size_t count);
 
   std::vector<std::vector<std::uint64_t>> scratch_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::deque<std::function<void(unsigned)>> queue_;
-  bool stop_{false};
+  std::vector<std::unique_ptr<work_deque>> deques_;
+  std::atomic<std::size_t> pending_{0};   ///< queued items across all deques
+  std::atomic<unsigned> sleepers_{0};     ///< workers parked on sleep_cv_
+  std::atomic<unsigned> rr_next_{0};      ///< round-robin cursor for external pushes
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  bool stop_{false};                      ///< guarded by sleep_mutex_
   std::vector<std::thread> workers_;  // last member: joins before the rest dies
 };
 
 /// Sharded packed execution: identical contract and bit-identical result
 /// words to `run_waves_packed`, with the batch distributed across the
-/// executor's workers in multi-chunk blocks. The block size adapts to the
-/// batch: up to compiled_netlist::max_block_chunks chunks per task on big
-/// batches (full multi-word kernel width, amortized dispatch), shrinking
-/// toward one chunk per task when the batch is too small to feed every
-/// worker at full width. Blocks are independent (wave coherence makes
-/// every chunk a pure function of its inputs); each task evaluates a
-/// chunk slice of the batch's plane-major view (no copy — a slice is the
-/// same planes at an offset base) and writes a disjoint chunk range of
-/// every result plane, so assembly is deterministic regardless of
-/// completion order — and identical at every block size.
+/// executor's workers in multi-chunk blocks
+/// (compiled_netlist::shard_block_chunks picks the block size: full
+/// multi-word kernel width on big batches, shrinking toward one chunk per
+/// task when the batch is too small to feed every worker at full width).
+/// Blocks are independent (wave coherence makes every chunk a pure function
+/// of its inputs); each task evaluates a chunk slice of the batch's
+/// plane-major view (no copy — a slice is the same planes at an offset
+/// base) and writes a disjoint chunk range of every result plane, so
+/// assembly is deterministic regardless of completion order — and identical
+/// at every block size.
 packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_batch& waves,
                                       unsigned phases, parallel_executor& executor);
 
@@ -96,10 +195,17 @@ packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_ba
 /// multi-chunk block (`block_waves` waves) is dispatched to the pool the
 /// moment it fills, so evaluation overlaps with wave arrival and with other
 /// streams sharing the executor, and each pool task runs the multi-word
-/// kernel at full width. Each block evaluates into its own plane-major
-/// buffer; finish() splices the per-block planes into the result's
-/// full-width planes in push order — bit-identical to the single-threaded
-/// packed path.
+/// kernel at full width.
+///
+/// Without a hint, each block evaluates into its own plane-major buffer and
+/// finish() splices the per-block planes into the result's full-width
+/// planes in push order. When `expected_waves` fixes the output stride,
+/// blocks evaluate **directly into the final full-width result planes** (at
+/// their chunk offset) and finish() hands the buffer over without any
+/// splice copy; a hint the stream outgrows falls back gracefully (the
+/// buffer re-strides between blocks), and an overshot hint costs one
+/// per-plane compaction at finish(). Either way the result words are
+/// bit-identical to the single-threaded packed path.
 ///
 /// push/finish must be called from one thread (the stream owner); the
 /// executor may be shared with any number of other streams and sessions.
@@ -107,11 +213,12 @@ class parallel_wave_stream {
 public:
   /// Waves per dispatched block: one full pass of the multi-word kernel.
   static constexpr std::size_t block_waves = 64 * compiled_netlist::max_block_chunks;
-  /// The compiled netlist and the executor must outlive the stream. Throws
-  /// std::invalid_argument when the netlist is not wave-coherent under
-  /// `phases` or `phases == 0`.
+  /// The compiled netlist and the executor must outlive the stream.
+  /// `expected_waves != 0` enables the direct-write path (see class docs).
+  /// Throws std::invalid_argument when the netlist is not wave-coherent
+  /// under `phases` or `phases == 0`.
   parallel_wave_stream(const compiled_netlist& net, unsigned phases,
-                       parallel_executor& executor);
+                       parallel_executor& executor, std::size_t expected_waves = 0);
   ~parallel_wave_stream();
 
   parallel_wave_stream(const parallel_wave_stream&) = delete;
@@ -136,19 +243,29 @@ public:
 private:
   struct block_job {
     wave_batch inputs;
-    std::vector<std::uint64_t> out;
-    block_job(wave_batch batch, std::size_t num_pos)
-        : inputs{std::move(batch)}, out(inputs.num_chunks() * num_pos) {}
+    std::vector<std::uint64_t> out;  ///< unused (empty) on the direct-write path
+    explicit block_job(wave_batch batch) : inputs{std::move(batch)} {}
   };
 
   void dispatch_block();
   void wait_in_flight();
+  /// Direct-write path: grows `direct_words_` so chunks [0, needed) fit.
+  /// Re-striding moves every plane, so it must not race in-flight jobs —
+  /// the caller waits them out first.
+  void ensure_direct_capacity(std::size_t needed_chunks);
 
   const compiled_netlist& net_;
   unsigned phases_;
   parallel_executor& executor_;
+  std::size_t expected_waves_;
   wave_batch pending_;
   std::deque<block_job> jobs_;  // deque: stable addresses for in-flight jobs
+  /// Direct-write result storage (expected_waves_ != 0): num_pos planes of
+  /// direct_stride_ words each; dispatched blocks write their chunk range
+  /// in place.
+  std::vector<std::uint64_t> direct_words_;
+  std::size_t direct_stride_{0};
+  std::size_t chunks_dispatched_{0};
   std::size_t pushed_{0};
   std::atomic<std::size_t> completed_{0};
   mutable std::mutex mutex_;
@@ -236,6 +353,15 @@ public:
   /// any later eviction.
   [[nodiscard]] std::shared_ptr<const compiled_netlist> compile(const mig_network& net,
                                                                 unsigned phases);
+
+  /// Fast path for callers that already fingerprinted the network (the
+  /// serving dispatcher memoizes fingerprints per shared network): a hot
+  /// cache hit is then one hash-map lookup plus an LRU splice, with no
+  /// O(network) re-hash. `fingerprint` must equal
+  /// `network_fingerprint(net)`; passing anything else silently serves the
+  /// wrong program.
+  [[nodiscard]] std::shared_ptr<const compiled_netlist> compile(
+      const mig_network& net, unsigned phases, std::uint64_t fingerprint);
 
   [[nodiscard]] session_stats stats() const;
   [[nodiscard]] std::size_t cached_netlists() const;

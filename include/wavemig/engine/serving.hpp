@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -9,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "wavemig/buffer_insertion.hpp"
@@ -22,13 +24,30 @@ namespace wavemig::engine {
 /// arguments is meaningful: on success `error` is null and `result` carries
 /// the packed outputs; on failure (e.g. an incoherent netlist or a
 /// PI-count mismatch) `error` holds the exception and `result` is empty.
-/// Callbacks run on a dispatcher thread — they may `submit` further
-/// requests, but must not block on the session (`drain`/`close`) or on the
-/// executor, and should hand heavy post-processing to the caller's own
-/// threads. An exception thrown by a callback (e.g. a follow-up `submit`
-/// racing `close()`) is caught and discarded; it never kills a dispatcher.
+/// Callbacks run on an executor worker (the one that finished the request's
+/// last plane-block) or, for requests that fail validation, on a dispatcher
+/// thread — they may `submit` further requests, but must not block on the
+/// session (`drain`/`close`) or on the executor, and should hand heavy
+/// post-processing to the caller's own threads. An exception thrown by a
+/// callback (e.g. a follow-up `submit` racing `close()`) is caught and
+/// discarded; it never kills a dispatcher or a worker.
 using serving_callback =
     std::function<void(packed_wave_result result, std::exception_ptr error)>;
+
+/// Point-in-time counters of a serving session's dispatcher. All counts are
+/// monotonic over the session's lifetime.
+struct serving_metrics {
+  std::uint64_t requests_accepted{0};
+  std::uint64_t requests_completed{0};  ///< callbacks fired with a result
+  std::uint64_t requests_failed{0};     ///< callbacks fired with an error
+  /// Requests that executed as members of a fused multi-request pool pass
+  /// (always counts the whole pass: a fused pass of 5 adds 5 here).
+  std::uint64_t coalesced_requests{0};
+  std::uint64_t fused_passes{0};      ///< multi-request pool passes launched
+  std::uint64_t singleton_passes{0};  ///< single-request pool passes launched
+  std::uint64_t gulps{0};             ///< queue drains performed by dispatchers
+  std::uint64_t max_gulp{0};          ///< largest single drain (requests)
+};
 
 /// Async serving front-end over `batch_session`: a multi-producer
 /// submission queue feeding a small pool of dispatcher threads, which
@@ -38,13 +57,35 @@ using serving_callback =
 /// * `submit` never blocks on evaluation — it enqueues and returns a
 ///   `std::future` (or fires a completion callback) whose result words are
 ///   bit-identical to `run_waves_packed` on the session-balanced network.
+/// * Dispatchers drain the queue in **gulps** and **coalesce** small
+///   same-program requests (same compiled-netlist fingerprint, buffer
+///   strategy, and phase count) into one fused multi-chunk pool pass: each
+///   request's waves become a chunk range of a fused plane-major block, the
+///   pass shards across the executor like one big batch, and the finished
+///   planes are sliced back per request. Wave coherence makes every 64-wave
+///   chunk a pure function of its own input chunk, so a request's sliced
+///   words are bit-identical to running it alone.
+/// * Execution is non-blocking end to end: a dispatcher launches each pass
+///   via `parallel_executor::submit_group` with a completion callback and
+///   immediately returns to the queue, so a couple of dispatchers keep
+///   dozens of requests in flight. Per-request completion callbacks fire on
+///   the worker that finished the pass (in no guaranteed order across
+///   requests — concurrent passes complete as they complete).
+/// * Error isolation: requests that fail preparation (malformed packed
+///   words, incoherent netlist, phase/PI mismatch) fail individually and
+///   never poison their gulp-mates. Members of one fused pass share a
+///   fate only if the pass itself throws mid-evaluation (which no engine
+///   path does for validated inputs) — then every member receives that
+///   error.
 /// * Per-request compiled-netlist reuse: requests against structurally
 ///   identical networks share one cached program; the request holds its own
 ///   reference, so cache eviction (LRU under `cache_limits`) while the
-///   request is in flight is safe.
+///   request is in flight is safe. Submitting the network by `shared_ptr`
+///   additionally memoizes its fingerprint, so a hot resubmission costs one
+///   hash-map lookup instead of an O(network) re-hash.
 /// * Dispatcher threads are deliberately separate from the executor's
-///   workers: a request's `run` blocks on the pool (`for_each`), which must
-///   never happen from inside a pool task.
+///   workers: dispatchers prepare and launch, workers evaluate and
+///   complete; neither ever blocks on the pool from inside it.
 ///
 /// Shutdown is graceful by default: `close()` (and the destructor) stops
 /// accepting new requests, drains everything already accepted, then joins
@@ -53,7 +94,8 @@ class serving_session {
 public:
   /// The executor must outlive the session. `dispatchers == 0` resolves to
   /// 2 — enough to overlap one request's compile (cache miss) with another
-  /// request's evaluation; raise it for workloads dominated by misses.
+  /// gulp's preparation; execution itself is asynchronous, so dispatcher
+  /// count bounds preparation concurrency, not requests in flight.
   /// `compile` selects the optimizer level every cached program is built
   /// with (bit-identical outputs at every level; see engine/optimizer.hpp).
   explicit serving_session(parallel_executor& executor,
@@ -68,11 +110,21 @@ public:
   /// Validation happens on the dispatcher, so malformed requests surface as
   /// exceptions from `future.get()`, not from `submit`. Throws
   /// std::runtime_error when the session is closed.
+  ///
+  /// The `shared_ptr` overloads are the hot path: the session keeps only a
+  /// reference (no deep copy) and memoizes the network's fingerprint, so
+  /// resubmitting the same network object costs one cache lookup. The
+  /// by-value overloads wrap the network in a fresh `shared_ptr` — correct,
+  /// but they re-fingerprint per submission.
+  [[nodiscard]] std::future<packed_wave_result> submit(
+      std::shared_ptr<const mig_network> net, wave_batch waves, unsigned phases);
   [[nodiscard]] std::future<packed_wave_result> submit(mig_network net, wave_batch waves,
                                                        unsigned phases);
 
-  /// Callback variant: `on_complete` fires exactly once per accepted
+  /// Callback variants: `on_complete` fires exactly once per accepted
   /// request (see serving_callback for the threading contract).
+  void submit(std::shared_ptr<const mig_network> net, wave_batch waves, unsigned phases,
+              serving_callback on_complete);
   void submit(mig_network net, wave_batch waves, unsigned phases,
               serving_callback on_complete);
 
@@ -89,10 +141,16 @@ public:
   /// through the future / callback, and std::runtime_error is thrown when
   /// the session is closed.
   [[nodiscard]] std::future<packed_wave_result> submit_packed(
+      std::shared_ptr<const mig_network> net, std::vector<std::uint64_t> plane_words,
+      std::size_t num_waves, unsigned phases);
+  [[nodiscard]] std::future<packed_wave_result> submit_packed(
       mig_network net, std::vector<std::uint64_t> plane_words, std::size_t num_waves,
       unsigned phases);
 
-  /// Callback variant of the zero-copy packed submission.
+  /// Callback variants of the zero-copy packed submission.
+  void submit_packed(std::shared_ptr<const mig_network> net,
+                     std::vector<std::uint64_t> plane_words, std::size_t num_waves,
+                     unsigned phases, serving_callback on_complete);
   void submit_packed(mig_network net, std::vector<std::uint64_t> plane_words,
                      std::size_t num_waves, unsigned phases, serving_callback on_complete);
 
@@ -116,13 +174,20 @@ public:
 
   /// Counters of the underlying compiled-netlist cache.
   [[nodiscard]] session_stats stats() const { return session_.stats(); }
+  /// Dispatcher-level counters (gulps, coalescing, completions).
+  [[nodiscard]] serving_metrics metrics() const;
+  /// Drains the queue-wait sample reservoir: per-request milliseconds spent
+  /// between `submit` and the dispatcher picking the request up, for up to
+  /// the most recent 8192 requests since the previous take. Benchmarks turn
+  /// these into queue-wait percentiles.
+  [[nodiscard]] std::vector<double> take_queue_wait_samples();
   /// The synchronous session underneath — shares the cache with the async
   /// path, so mixed sync/async workloads reuse one set of programs.
   [[nodiscard]] batch_session& session() { return session_; }
 
 private:
   struct request {
-    mig_network net;
+    std::shared_ptr<const mig_network> net;
     wave_batch waves{0};  // wave_batch has no default constructor
     /// submit_packed requests carry the adopted plane-major words instead
     /// of a batch; the dispatcher wraps them (zero-copy, but its size
@@ -132,17 +197,78 @@ private:
     bool packed{false};
     unsigned phases{0};
     serving_callback done;
+    std::chrono::steady_clock::time_point enqueued{};
   };
 
-  void dispatcher_loop();
+  /// One launched pool pass: a singleton request (zero-copy view of its own
+  /// batch) or a fused group of small same-program requests packed into one
+  /// plane-major block. Shared between the group tasks, the completion
+  /// callback, and nothing else — destroyed when the last of them lets go.
+  struct exec_unit {
+    std::shared_ptr<const compiled_netlist> program;
+    unsigned phases{0};
+    bool fused{false};
+    std::size_t total_chunks{0};
+    std::vector<request> members;
+    std::vector<std::size_t> member_offsets;  ///< chunk offset per member (fused)
+    std::vector<std::size_t> member_waves;    ///< wave count per member
+    wave_batch batch{0};                   ///< singleton input (moved from the request)
+    std::vector<std::uint64_t> in_words;   ///< fused input planes, stride total_chunks
+    std::vector<std::uint64_t> out_words;  ///< result planes, stride total_chunks
+  };
 
+  void enqueue(request req);
+  void dispatcher_loop();
+  void process_gulp(std::vector<request> gulp);
+  /// Fingerprint of `net`, memoized by pointer for shared networks. The
+  /// memo entry carries a weak_ptr so a reused allocation address (old
+  /// network freed, new one at the same address) can never serve a stale
+  /// fingerprint.
+  std::uint64_t fingerprint_of(const std::shared_ptr<const mig_network>& net);
+  /// Fails one request before launch: fires its callback with `error` on
+  /// the calling (dispatcher) thread and retires it from `active_`.
+  void fail_request(request& req, std::exception_ptr error);
+  /// Launches one pass on the executor (waits for an in-flight slot first).
+  void launch_unit(std::shared_ptr<exec_unit> unit);
+  /// Completion of one pass, on the worker that finished its last task (or
+  /// inline on the dispatcher for an empty pass): slices results back per
+  /// member, fires callbacks, retires the members and the in-flight slot.
+  void finish_unit(const std::shared_ptr<exec_unit>& unit, std::exception_ptr error);
+
+  /// Requests per queue drain: bounds a gulp's preparation latency and the
+  /// transient memory of its fused blocks.
+  static constexpr std::size_t max_gulp_requests = 64;
+  /// Requests at most this many chunks wide coalesce; wider ones amortize
+  /// their pass overhead on their own. One full multi-word kernel pass.
+  static constexpr std::size_t small_request_chunks = compiled_netlist::max_block_chunks;
+  /// Chunk budget of one fused block (128 chunks = 8192 waves): big enough
+  /// to amortize a pass over dozens of small requests, small enough that a
+  /// gulp's fused blocks stay cache- and memory-friendly.
+  static constexpr std::size_t max_fused_chunks = 16 * compiled_netlist::max_block_chunks;
+  static constexpr std::size_t max_queue_wait_samples = 8192;
+
+  parallel_executor& executor_;
   batch_session session_;
+  /// In-flight pass cap: dispatchers stall launching (not accepting) once
+  /// this many passes are queued or running, bounding result-buffer memory
+  /// under a flood. Workers retire passes, so the stall always clears.
+  std::size_t max_inflight_units_;
   mutable std::mutex mutex_;
   std::condition_variable queue_ready_;  // dispatchers: work or close
   std::condition_variable idle_;         // drain: queue empty and nothing active
+  std::condition_variable unit_retired_;  // launch_unit: in-flight slot free
   std::deque<request> queue_;
   std::size_t active_{0};
+  std::size_t inflight_units_{0};
   bool closed_{false};
+  serving_metrics metrics_;
+  std::vector<double> queue_wait_samples_;
+  struct fp_memo_entry {
+    std::weak_ptr<const mig_network> net;
+    std::uint64_t fingerprint{0};
+  };
+  std::mutex fp_mutex_;
+  std::unordered_map<const mig_network*, fp_memo_entry> fp_memo_;
   /// Serializes joining: every close() caller blocks until the dispatchers
   /// are actually joined, not just until someone else started joining.
   /// Guards dispatchers_ once the session is visible to other threads.

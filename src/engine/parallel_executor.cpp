@@ -1,11 +1,69 @@
 #include "wavemig/engine/parallel_executor.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <exception>
 
 #include "block_splice.hpp"
 
 namespace wavemig::engine {
+
+namespace detail {
+
+/// Shared state of one submitted group: the task body, the countdown, and
+/// the completion machinery. Deque items and `task_group` tokens hold it
+/// through a shared_ptr, so the state outlives whichever of them finishes
+/// last.
+struct group_state {
+  std::function<void(std::size_t, unsigned)> fn;
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> cancelled{false};
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  bool done{false};
+  std::exception_ptr error;
+  group_callback on_complete;
+};
+
+}  // namespace detail
+
+namespace {
+
+/// Identity of the current thread inside a pool, so `submit` from a worker
+/// lands on that worker's own deque (locality) instead of round-robin.
+struct worker_identity {
+  const void* owner{nullptr};
+  unsigned index{0};
+};
+thread_local worker_identity tls_worker;
+
+}  // namespace
+
+// --------------------------------------------------------- task_group ---
+
+bool task_group::done() const {
+  if (!state_) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock{state_->mutex};
+  return state_->done;
+}
+
+void task_group::wait() const {
+  if (!state_) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock{state_->mutex};
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+std::exception_ptr task_group::error() const {
+  if (!state_) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock{state_->mutex};
+  return state_->error;
+}
 
 // ------------------------------------------------------------ executor ---
 
@@ -14,6 +72,10 @@ parallel_executor::parallel_executor(unsigned num_threads) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   scratch_.resize(num_threads);
+  deques_.reserve(num_threads);
+  for (unsigned w = 0; w < num_threads; ++w) {
+    deques_.push_back(std::make_unique<work_deque>());
+  }
   workers_.reserve(num_threads);
   for (unsigned w = 0; w < num_threads; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -22,37 +84,191 @@ parallel_executor::parallel_executor(unsigned num_threads) {
 
 parallel_executor::~parallel_executor() {
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    std::lock_guard<std::mutex> lock{sleep_mutex_};
     stop_ = true;
   }
-  work_ready_.notify_all();
+  sleep_cv_.notify_all();
   for (auto& worker : workers_) {
     worker.join();
   }
 }
 
 void parallel_executor::worker_loop(unsigned worker) {
+  tls_worker = {this, worker};
+  task_item item;
+  while (next_item(worker, item)) {
+    run_item(item, worker);
+    item = task_item{};  // release the group/fn before going back to sleep
+  }
+  tls_worker = {};
+}
+
+bool parallel_executor::next_item(unsigned worker, task_item& item) {
+  auto& own = *deques_[worker];
+  const std::size_t num_workers = deques_.size();
   for (;;) {
-    std::function<void(unsigned)> task;
+    // Own deque first, from the front: a group's pre-partitioned range runs
+    // in ascending chunk order (prefetch-friendly), plain submissions FIFO.
     {
-      std::unique_lock<std::mutex> lock{mutex_};
-      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // stop requested and nothing left to drain
+      std::lock_guard<std::mutex> lock{own.mutex};
+      if (!own.items.empty()) {
+        item = std::move(own.items.front());
+        own.items.pop_front();
+        pending_.fetch_sub(1);
+        return true;
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
     }
-    task(worker);
+    // Empty: steal a whole item (one plane-block of a group, or one plain
+    // task) from the back of a victim — the work farthest from where the
+    // victim is currently progressing.
+    for (std::size_t i = 1; i < num_workers; ++i) {
+      auto& victim = *deques_[(worker + i) % num_workers];
+      std::lock_guard<std::mutex> lock{victim.mutex};
+      if (!victim.items.empty()) {
+        item = std::move(victim.items.back());
+        victim.items.pop_back();
+        pending_.fetch_sub(1);
+        return true;
+      }
+    }
+    // Nothing anywhere: park. `pending_` is incremented before an item
+    // becomes visible in a deque, so a positive count here means a push is
+    // in progress — loop and rescan instead of sleeping past it.
+    std::unique_lock<std::mutex> lock{sleep_mutex_};
+    if (pending_.load() > 0) {
+      continue;
+    }
+    if (stop_) {
+      return false;  // stop requested and every deque drained
+    }
+    sleepers_.fetch_add(1);
+    sleep_cv_.wait(lock, [this] { return stop_ || pending_.load() > 0; });
+    sleepers_.fetch_sub(1);
+  }
+}
+
+void parallel_executor::run_item(task_item& item, unsigned worker) {
+  if (!item.group) {
+    item.fn(worker);  // plain tasks must not throw (documented contract)
+    return;
+  }
+  detail::group_state& group = *item.group;
+  if (!group.cancelled.load(std::memory_order_relaxed)) {
+    try {
+      group.fn(item.index, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock{group.mutex};
+      if (!group.error) {
+        group.error = std::current_exception();
+      }
+      group.cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (group.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task: publish completion, then fire the callback outside the
+    // lock (it may submit follow-up work against this executor).
+    group_callback on_complete;
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock{group.mutex};
+      group.done = true;
+      error = group.error;
+      on_complete = std::move(group.on_complete);
+    }
+    group.cv.notify_all();
+    if (on_complete) {
+      try {
+        on_complete(error);
+      } catch (...) {
+        // A throwing completion must not take down the worker.
+      }
+    }
+  }
+}
+
+void parallel_executor::push_item(unsigned deque_index, task_item item) {
+  auto& deque = *deques_[deque_index];
+  std::lock_guard<std::mutex> lock{deque.mutex};
+  deque.items.push_back(std::move(item));
+}
+
+void parallel_executor::notify_new_work(std::size_t count) {
+  if (sleepers_.load() == 0) {
+    return;  // every worker is already awake and will rescan
+  }
+  // The (empty) critical section orders this notify after any worker that
+  // last saw pending_ == 0: such a worker is either fully parked (the
+  // notify reaches it) or re-evaluates the predicate under the mutex and
+  // sees the new count.
+  { std::lock_guard<std::mutex> lock{sleep_mutex_}; }
+  if (count > 1) {
+    sleep_cv_.notify_all();
+  } else {
+    sleep_cv_.notify_one();
   }
 }
 
 void parallel_executor::submit(std::function<void(unsigned)> task) {
-  {
-    std::lock_guard<std::mutex> lock{mutex_};
-    queue_.push_back(std::move(task));
+  task_item item;
+  item.fn = std::move(task);
+  const unsigned target = tls_worker.owner == this
+                              ? tls_worker.index
+                              : rr_next_.fetch_add(1, std::memory_order_relaxed) %
+                                    static_cast<unsigned>(deques_.size());
+  pending_.fetch_add(1);
+  push_item(target, std::move(item));
+  notify_new_work(1);
+}
+
+task_group parallel_executor::submit_group_impl(
+    std::size_t num_tasks, std::function<void(std::size_t, unsigned)> fn,
+    group_callback on_complete) {
+  auto state = std::make_shared<detail::group_state>();
+  state->fn = std::move(fn);
+  if (num_tasks == 0) {
+    state->done = true;
+    if (on_complete) {
+      try {
+        on_complete(nullptr);
+      } catch (...) {
+      }
+    }
+    return task_group{std::move(state)};
   }
-  work_ready_.notify_one();
+  state->on_complete = std::move(on_complete);
+  state->remaining.store(num_tasks, std::memory_order_relaxed);
+
+  // Contiguous pre-partition: worker (start + w) % W owns the w-th range of
+  // the index space, so each worker walks an ascending contiguous run of
+  // plane-blocks and stealing only rebalances the edges. `start` rotates
+  // per group so concurrent small groups spread across different workers.
+  const std::size_t num_workers = deques_.size();
+  const unsigned start = rr_next_.fetch_add(1, std::memory_order_relaxed) %
+                         static_cast<unsigned>(num_workers);
+  pending_.fetch_add(num_tasks);  // before visibility: claims never underflow
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    const std::size_t first = num_tasks * w / num_workers;
+    const std::size_t last = num_tasks * (w + 1) / num_workers;
+    if (first == last) {
+      continue;
+    }
+    auto& deque = *deques_[(start + w) % num_workers];
+    std::lock_guard<std::mutex> lock{deque.mutex};
+    for (std::size_t t = first; t < last; ++t) {
+      task_item item;
+      item.group = state;
+      item.index = t;
+      deque.items.push_back(std::move(item));
+    }
+  }
+  notify_new_work(num_tasks);
+  return task_group{std::move(state)};
+}
+
+task_group parallel_executor::submit_group(std::size_t num_tasks,
+                                           std::function<void(std::size_t, unsigned)> fn,
+                                           group_callback on_complete) {
+  return submit_group_impl(num_tasks, std::move(fn), std::move(on_complete));
 }
 
 void parallel_executor::for_each(std::size_t num_tasks,
@@ -60,48 +276,13 @@ void parallel_executor::for_each(std::size_t num_tasks,
   if (num_tasks == 0) {
     return;
   }
-
-  // Per-call completion state: independent for_each calls (possibly from
-  // different threads) never wait on each other's tasks.
-  struct call_state {
-    std::atomic<std::size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t live_workers{0};
-    std::exception_ptr error;
-  };
-  auto state = std::make_shared<call_state>();
-  const auto fan =
-      static_cast<unsigned>(std::min<std::size_t>(num_threads(), num_tasks));
-  state->live_workers = fan;
-
-  // `fn` is captured by reference: this call blocks until every shard task
-  // returned, so the reference outlives the tasks.
-  for (unsigned i = 0; i < fan; ++i) {
-    submit([state, &fn, num_tasks](unsigned worker) {
-      try {
-        for (std::size_t t = state->next.fetch_add(1); t < num_tasks;
-             t = state->next.fetch_add(1)) {
-          fn(t, worker);
-        }
-      } catch (...) {
-        std::lock_guard<std::mutex> lock{state->mutex};
-        if (!state->error) {
-          state->error = std::current_exception();
-        }
-        state->next.store(num_tasks);  // cancel the remaining tasks
-      }
-      std::lock_guard<std::mutex> lock{state->mutex};
-      if (--state->live_workers == 0) {
-        state->done.notify_all();
-      }
-    });
-  }
-
-  std::unique_lock<std::mutex> lock{state->mutex};
-  state->done.wait(lock, [&] { return state->live_workers == 0; });
-  if (state->error) {
-    std::rethrow_exception(state->error);
+  // `fn` is captured by reference: this call blocks until the group
+  // completed, so the reference outlives the tasks.
+  const task_group group = submit_group_impl(
+      num_tasks, [&fn](std::size_t task, unsigned worker) { fn(task, worker); }, {});
+  group.wait();
+  if (auto error = group.error()) {
+    std::rethrow_exception(error);
   }
 }
 
@@ -117,20 +298,16 @@ packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_ba
   fill_packed_clock_metrics(result, net, phases, waves.num_waves());
   result.words.resize(waves.num_chunks() * net.num_pos());
 
-  // One task per multi-chunk block (not per chunk): the multi-word kernel
-  // runs at full width inside every task and dispatch overhead amortizes
-  // over the block. The block size adapts so small batches still fan out —
-  // at least two tasks per worker where possible (parallelism beats kernel
-  // width when the batch cannot feed both), growing to max_block_chunks
-  // once the batch is large enough to keep every worker busy at full
-  // width. Sharding slices the batch's plane view — same planes, offset
-  // base, no copy — and every block writes a disjoint chunk range of each
-  // result plane, so the assembly is deterministic by construction and the
-  // result words are identical at every block size.
+  // One task per multi-chunk block (not per chunk), partitioned by the
+  // shared shard_block_chunks policy: the multi-word kernel runs at full
+  // width inside every task and dispatch overhead amortizes over the block.
+  // Sharding slices the batch's plane view — same planes, offset base, no
+  // copy — and every block writes a disjoint chunk range of each result
+  // plane, so the assembly is deterministic by construction and the result
+  // words are identical at every block size.
   const std::size_t num_chunks = waves.num_chunks();
-  const std::size_t threads = std::max(1u, executor.num_threads());
-  const std::size_t block = std::clamp<std::size_t>(num_chunks / (2 * threads), 1,
-                                                    compiled_netlist::max_block_chunks);
+  const std::size_t block =
+      compiled_netlist::shard_block_chunks(num_chunks, executor.num_threads());
   const std::size_t num_blocks = (num_chunks + block - 1) / block;
   const wave_block_view pis = waves.view();
   const wave_block_mut_view pos{result.words.data(), num_chunks, net.num_pos(), num_chunks};
@@ -147,8 +324,13 @@ packed_wave_result run_waves_parallel(const compiled_netlist& net, const wave_ba
 // ------------------------------------------------------------- stream ---
 
 parallel_wave_stream::parallel_wave_stream(const compiled_netlist& net, unsigned phases,
-                                           parallel_executor& executor)
-    : net_{net}, phases_{phases}, executor_{executor}, pending_{net.num_pis()} {
+                                           parallel_executor& executor,
+                                           std::size_t expected_waves)
+    : net_{net},
+      phases_{phases},
+      executor_{executor},
+      expected_waves_{expected_waves},
+      pending_{net.num_pis()} {
   validate_packed_run(net, net.num_pis(), phases, "parallel_wave_stream");
   pending_.reserve(block_waves);
 }
@@ -166,19 +348,60 @@ void parallel_wave_stream::push(const std::vector<bool>& wave) {
   }
 }
 
+void parallel_wave_stream::ensure_direct_capacity(std::size_t needed_chunks) {
+  if (direct_stride_ >= needed_chunks) {
+    return;
+  }
+  std::size_t new_stride = std::max(needed_chunks, (expected_waves_ + 63) / 64);
+  if (direct_stride_ != 0) {
+    // The hint undershot: re-striding moves every plane, which must not
+    // race the in-flight jobs still writing the old layout. Correctness is
+    // preserved; the one-off stall is the price of a wrong hint.
+    wait_in_flight();
+    new_stride = std::max(needed_chunks, 2 * direct_stride_);
+  }
+  std::vector<std::uint64_t> grown(new_stride * net_.num_pos(), 0);
+  if (chunks_dispatched_ != 0) {
+    for (std::size_t p = 0; p < net_.num_pos(); ++p) {
+      std::memcpy(grown.data() + p * new_stride, direct_words_.data() + p * direct_stride_,
+                  chunks_dispatched_ * sizeof(std::uint64_t));
+    }
+  }
+  direct_words_.swap(grown);
+  direct_stride_ = new_stride;
+}
+
 void parallel_wave_stream::dispatch_block() {
-  jobs_.emplace_back(std::move(pending_), net_.num_pos());
+  jobs_.emplace_back(std::move(pending_));
   pending_ = wave_batch{net_.num_pis()};
   pending_.reserve(block_waves);
   block_job* job = &jobs_.back();  // deque: stable across later push_backs
+  const std::size_t chunks = job->inputs.num_chunks();
+
+  // Hinted streams write straight into the final full-width result planes
+  // at this block's chunk offset — no per-job buffer, no finish()-time
+  // splice. Unhinted streams keep the per-job buffer + splice path.
+  std::uint64_t* out_base;
+  std::size_t out_stride;
+  if (expected_waves_ != 0) {
+    ensure_direct_capacity(chunks_dispatched_ + chunks);
+    out_base = direct_words_.data() + chunks_dispatched_;
+    out_stride = direct_stride_;
+  } else {
+    job->out.resize(chunks * net_.num_pos());
+    out_base = job->out.data();
+    out_stride = chunks;
+  }
+  chunks_dispatched_ += chunks;
+
   {
     std::lock_guard<std::mutex> lock{mutex_};
     ++in_flight_;
   }
-  executor_.submit([this, job](unsigned worker) {
-    const std::size_t chunks = job->inputs.num_chunks();
+  executor_.submit([this, job, out_base, out_stride](unsigned worker) {
+    const std::size_t job_chunks = job->inputs.num_chunks();
     eval_packed_planes(net_, job->inputs.view(),
-                       {job->out.data(), chunks, net_.num_pos(), chunks},
+                       {out_base, out_stride, net_.num_pos(), job_chunks},
                        executor_.scratch(worker));
     completed_.fetch_add(job->inputs.num_waves(), std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock{mutex_};
@@ -203,7 +426,24 @@ packed_wave_result parallel_wave_stream::finish() {
   result.num_pos = net_.num_pos();
   result.num_waves = pushed_;
   fill_packed_clock_metrics(result, net_, phases_, pushed_);
-  if (jobs_.size() == 1) {
+  const std::size_t total_chunks = result.num_chunks();
+  if (expected_waves_ != 0) {
+    // Direct-write path: blocks already landed at their final chunk
+    // offsets. An exact (or matching) hint hands the buffer over as-is; an
+    // overshot hint compacts each plane down to the result stride first
+    // (ascending planes: the destination never overruns the source).
+    if (direct_stride_ > total_chunks) {
+      for (std::size_t p = 0; p < result.num_pos; ++p) {
+        std::memmove(direct_words_.data() + p * total_chunks,
+                     direct_words_.data() + p * direct_stride_,
+                     total_chunks * sizeof(std::uint64_t));
+      }
+    }
+    direct_words_.resize(total_chunks * result.num_pos);
+    result.words = std::move(direct_words_);
+    direct_words_ = {};
+    direct_stride_ = 0;
+  } else if (jobs_.size() == 1) {
     // A single block already has the result's plane stride.
     result.words = std::move(jobs_.front().out);
   } else if (!jobs_.empty()) {
@@ -211,7 +451,6 @@ packed_wave_result parallel_wave_stream::finish() {
     // into the full-width result planes — contiguous chunk-word copies, in
     // push order, so the words are bit-identical to the single-threaded
     // packed path.
-    const std::size_t total_chunks = result.num_chunks();
     result.words.resize(total_chunks * net_.num_pos());
     std::size_t chunk_offset = 0;
     for (const auto& job : jobs_) {
@@ -224,6 +463,7 @@ packed_wave_result parallel_wave_stream::finish() {
   detail::mask_result_tail(result);
 
   jobs_.clear();
+  chunks_dispatched_ = 0;
   pushed_ = 0;
   completed_.store(0, std::memory_order_relaxed);
   return result;
@@ -283,7 +523,13 @@ void batch_session::evict_to_limits() {
 
 std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
                                                                unsigned phases) {
-  const cache_key key{network_fingerprint(net), options_.strategy, phases};
+  return compile(net, phases, network_fingerprint(net));
+}
+
+std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
+                                                               unsigned phases,
+                                                               std::uint64_t fingerprint) {
+  const cache_key key{fingerprint, options_.strategy, phases};
 
   {
     std::lock_guard<std::mutex> lock{mutex_};

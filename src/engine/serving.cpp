@@ -1,15 +1,20 @@
 #include "wavemig/engine/serving.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
+
+#include "block_splice.hpp"
 
 namespace wavemig::engine {
 
 serving_session::serving_session(parallel_executor& executor,
                                  buffer_insertion_options options, cache_limits limits,
                                  unsigned dispatchers, compile_options compile)
-    : session_{executor, options, limits, compile} {
+    : executor_{executor},
+      session_{executor, options, limits, compile},
+      max_inflight_units_{std::max<std::size_t>(4, 4 * executor.num_threads())} {
   if (dispatchers == 0) {
     dispatchers = 2;
   }
@@ -21,25 +26,39 @@ serving_session::serving_session(parallel_executor& executor,
 
 serving_session::~serving_session() { close(); }
 
-void serving_session::submit(mig_network net, wave_batch waves, unsigned phases,
-                             serving_callback on_complete) {
+// -------------------------------------------------------- submissions ---
+
+void serving_session::enqueue(request req) {
+  req.enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock{mutex_};
     if (closed_) {
       throw std::runtime_error{"serving_session: submit after close"};
     }
-    request req;
-    req.net = std::move(net);
-    req.waves = std::move(waves);
-    req.phases = phases;
-    req.done = std::move(on_complete);
+    ++metrics_.requests_accepted;
     queue_.push_back(std::move(req));
   }
   queue_ready_.notify_one();
 }
 
-std::future<packed_wave_result> serving_session::submit(mig_network net, wave_batch waves,
-                                                        unsigned phases) {
+void serving_session::submit(std::shared_ptr<const mig_network> net, wave_batch waves,
+                             unsigned phases, serving_callback on_complete) {
+  request req;
+  req.net = std::move(net);
+  req.waves = std::move(waves);
+  req.phases = phases;
+  req.done = std::move(on_complete);
+  enqueue(std::move(req));
+}
+
+void serving_session::submit(mig_network net, wave_batch waves, unsigned phases,
+                             serving_callback on_complete) {
+  submit(std::make_shared<const mig_network>(std::move(net)), std::move(waves), phases,
+         std::move(on_complete));
+}
+
+std::future<packed_wave_result> serving_session::submit(
+    std::shared_ptr<const mig_network> net, wave_batch waves, unsigned phases) {
   auto promise = std::make_shared<std::promise<packed_wave_result>>();
   auto future = promise->get_future();
   submit(std::move(net), std::move(waves), phases,
@@ -53,29 +72,36 @@ std::future<packed_wave_result> serving_session::submit(mig_network net, wave_ba
   return future;
 }
 
+std::future<packed_wave_result> serving_session::submit(mig_network net, wave_batch waves,
+                                                        unsigned phases) {
+  return submit(std::make_shared<const mig_network>(std::move(net)), std::move(waves),
+                phases);
+}
+
+void serving_session::submit_packed(std::shared_ptr<const mig_network> net,
+                                    std::vector<std::uint64_t> plane_words,
+                                    std::size_t num_waves, unsigned phases,
+                                    serving_callback on_complete) {
+  request req;
+  req.net = std::move(net);
+  req.plane_words = std::move(plane_words);
+  req.packed_waves = num_waves;
+  req.packed = true;
+  req.phases = phases;
+  req.done = std::move(on_complete);
+  enqueue(std::move(req));
+}
+
 void serving_session::submit_packed(mig_network net, std::vector<std::uint64_t> plane_words,
                                     std::size_t num_waves, unsigned phases,
                                     serving_callback on_complete) {
-  {
-    std::lock_guard<std::mutex> lock{mutex_};
-    if (closed_) {
-      throw std::runtime_error{"serving_session: submit after close"};
-    }
-    request req;
-    req.net = std::move(net);
-    req.plane_words = std::move(plane_words);
-    req.packed_waves = num_waves;
-    req.packed = true;
-    req.phases = phases;
-    req.done = std::move(on_complete);
-    queue_.push_back(std::move(req));
-  }
-  queue_ready_.notify_one();
+  submit_packed(std::make_shared<const mig_network>(std::move(net)), std::move(plane_words),
+                num_waves, phases, std::move(on_complete));
 }
 
 std::future<packed_wave_result> serving_session::submit_packed(
-    mig_network net, std::vector<std::uint64_t> plane_words, std::size_t num_waves,
-    unsigned phases) {
+    std::shared_ptr<const mig_network> net, std::vector<std::uint64_t> plane_words,
+    std::size_t num_waves, unsigned phases) {
   auto promise = std::make_shared<std::promise<packed_wave_result>>();
   auto future = promise->get_future();
   submit_packed(std::move(net), std::move(plane_words), num_waves, phases,
@@ -89,25 +115,95 @@ std::future<packed_wave_result> serving_session::submit_packed(
   return future;
 }
 
+std::future<packed_wave_result> serving_session::submit_packed(
+    mig_network net, std::vector<std::uint64_t> plane_words, std::size_t num_waves,
+    unsigned phases) {
+  return submit_packed(std::make_shared<const mig_network>(std::move(net)),
+                       std::move(plane_words), num_waves, phases);
+}
+
+// ----------------------------------------------------------- dispatch ---
+
+std::uint64_t serving_session::fingerprint_of(
+    const std::shared_ptr<const mig_network>& net) {
+  const mig_network* key = net.get();
+  {
+    std::lock_guard<std::mutex> lock{fp_mutex_};
+    if (const auto it = fp_memo_.find(key); it != fp_memo_.end()) {
+      // The weak_ptr must still refer to *this* object: a memo hit on a
+      // reused allocation address (old network freed, new one placed there)
+      // would otherwise serve the old network's fingerprint.
+      if (const auto held = it->second.net.lock(); held.get() == key) {
+        return it->second.fingerprint;
+      }
+      fp_memo_.erase(it);
+    }
+  }
+  const std::uint64_t fp = network_fingerprint(*net);
+  std::lock_guard<std::mutex> lock{fp_mutex_};
+  if (fp_memo_.size() >= 256) {
+    // Cheap bound: drop dead entries first, flush wholesale if the memo is
+    // full of live one-shot networks.
+    for (auto it = fp_memo_.begin(); it != fp_memo_.end();) {
+      it = it->second.net.expired() ? fp_memo_.erase(it) : std::next(it);
+    }
+    if (fp_memo_.size() >= 256) {
+      fp_memo_.clear();
+    }
+  }
+  fp_memo_[key] = {net, fp};
+  return fp;
+}
+
 void serving_session::dispatcher_loop() {
   for (;;) {
-    request req;
+    std::vector<request> gulp;
     {
       std::unique_lock<std::mutex> lock{mutex_};
       queue_ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // closed and fully drained
       }
-      req = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+      const std::size_t take = std::min(queue_.size(), max_gulp_requests);
+      gulp.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        gulp.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // The gulp's requests count as active until their units retire them,
+      // so drain()'s predicate never observes a false idle.
+      active_ += take;
+      ++metrics_.gulps;
+      metrics_.max_gulp = std::max<std::uint64_t>(metrics_.max_gulp, take);
     }
+    process_gulp(std::move(gulp));
+  }
+}
 
-    // The request pins its compiled program via shared_ptr, so a concurrent
-    // LRU eviction of the same entry cannot pull the program out from under
-    // the evaluation.
-    packed_wave_result result;
-    std::exception_ptr error;
+void serving_session::process_gulp(std::vector<request> gulp) {
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    for (const request& req : gulp) {
+      if (queue_wait_samples_.size() < max_queue_wait_samples) {
+        queue_wait_samples_.push_back(
+            std::chrono::duration<double, std::milli>(now - req.enqueued).count());
+      }
+    }
+  }
+
+  // Prepare each request in isolation: adopt packed words, fingerprint,
+  // compile (one cache hit/miss per request — the session's hit/miss
+  // counters stay per-request even when requests fuse), validate. A failure
+  // here fails only this request; its gulp-mates proceed.
+  struct prepared {
+    request req;
+    std::shared_ptr<const compiled_netlist> program;
+    std::size_t chunks{0};
+  };
+  std::vector<prepared> ready;
+  ready.reserve(gulp.size());
+  for (request& req : gulp) {
     try {
       if (req.packed) {
         // Zero-copy adoption of the caller's plane-major words. The size
@@ -115,30 +211,229 @@ void serving_session::dispatcher_loop() {
         // packed request surfaces through the future like any other
         // validation error.
         req.waves = wave_batch::from_plane_words(std::move(req.plane_words),
-                                                 req.net.num_pis(), req.packed_waves);
+                                                 req.net->num_pis(), req.packed_waves);
       }
-      result = session_.run(req.net, req.waves, req.phases);
+      auto program = session_.compile(*req.net, req.phases, fingerprint_of(req.net));
+      validate_packed_run(*program, req.waves.num_pis(), req.phases, "serving_session");
+      const std::size_t chunks = req.waves.num_chunks();
+      ready.push_back({std::move(req), std::move(program), chunks});
     } catch (...) {
-      error = std::current_exception();
+      fail_request(req, std::current_exception());
     }
-    // A callback that throws (including a follow-up submit racing close())
-    // must not take down the dispatcher — and with it the process.
+  }
+
+  // Group by executable program identity: one cache entry per (fingerprint,
+  // strategy, phases), so same-key requests share one shared_ptr and the
+  // pointer doubles as the coalescing key. Requests wider than
+  // small_request_chunks amortize a pass on their own and run as
+  // singletons; small same-key requests pack greedily (in submission order)
+  // into fused blocks of at most max_fused_chunks.
+  struct group {
+    const compiled_netlist* program;
+    unsigned phases;
+    std::vector<std::size_t> members;  // indices into `ready`
+  };
+  std::vector<group> groups;
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    const compiled_netlist* program = ready[i].program.get();
+    const unsigned phases = ready[i].req.phases;
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const group& g) {
+      return g.program == program && g.phases == phases;
+    });
+    if (it == groups.end()) {
+      groups.push_back({program, phases, {}});
+      it = std::prev(groups.end());
+    }
+    it->members.push_back(i);
+  }
+
+  for (const group& g : groups) {
+    std::vector<std::size_t> fusible;
+    for (const std::size_t i : g.members) {
+      if (ready[i].chunks > small_request_chunks) {
+        auto unit = std::make_shared<exec_unit>();
+        unit->program = ready[i].program;
+        unit->phases = g.phases;
+        unit->total_chunks = ready[i].chunks;
+        unit->member_waves.push_back(ready[i].req.waves.num_waves());
+        unit->batch = std::move(ready[i].req.waves);
+        ready[i].req.waves = wave_batch{0};
+        unit->members.push_back(std::move(ready[i].req));
+        launch_unit(std::move(unit));
+      } else {
+        fusible.push_back(i);
+      }
+    }
+    // Greedy packing in submission order; a leftover of one degenerates to
+    // a singleton pass on its own batch (zero-copy, no fused buffer).
+    std::size_t at = 0;
+    while (at < fusible.size()) {
+      std::size_t end = at;
+      std::size_t total = 0;
+      while (end < fusible.size() && (end == at || total + ready[fusible[end]].chunks <=
+                                                       max_fused_chunks)) {
+        total += ready[fusible[end]].chunks;
+        ++end;
+      }
+      auto unit = std::make_shared<exec_unit>();
+      unit->program = ready[fusible[at]].program;
+      unit->phases = g.phases;
+      unit->total_chunks = total;
+      if (end - at == 1) {
+        prepared& p = ready[fusible[at]];
+        unit->member_waves.push_back(p.req.waves.num_waves());
+        unit->batch = std::move(p.req.waves);
+        p.req.waves = wave_batch{0};
+        unit->members.push_back(std::move(p.req));
+      } else {
+        // Fused block: each member's planes land at its chunk offset of a
+        // shared plane-major buffer with stride == total. Members uphold
+        // the tail-zero invariant, so the fused planes do too; the unused
+        // lanes of a member's last chunk evaluate to garbage that the
+        // per-member slice-back masks off — chunk purity keeps every
+        // member's own chunks bit-identical to a standalone run.
+        unit->fused = true;
+        const std::size_t num_pis = unit->program->num_pis();
+        unit->in_words.assign(total * num_pis, 0);
+        unit->members.reserve(end - at);
+        std::size_t offset = 0;
+        for (std::size_t k = at; k < end; ++k) {
+          prepared& p = ready[fusible[k]];
+          for (std::size_t i = 0; i < num_pis; ++i) {
+            std::memcpy(unit->in_words.data() + i * total + offset, p.req.waves.plane(i),
+                        p.chunks * sizeof(std::uint64_t));
+          }
+          unit->member_offsets.push_back(offset);
+          unit->member_waves.push_back(p.req.waves.num_waves());
+          offset += p.chunks;
+          p.req.waves = wave_batch{0};  // input copied; free it before launch
+          unit->members.push_back(std::move(p.req));
+        }
+      }
+      launch_unit(std::move(unit));
+      at = end;
+    }
+  }
+}
+
+void serving_session::fail_request(request& req, std::exception_ptr error) {
+  // A callback that throws (including a follow-up submit racing close())
+  // must not take down the dispatcher — and with it the process.
+  try {
+    if (req.done) {
+      req.done(packed_wave_result{}, error);
+    }
+  } catch (...) {
+  }
+  req = request{};  // release the network/batch before reporting idle
+  std::lock_guard<std::mutex> lock{mutex_};
+  ++metrics_.requests_failed;
+  if (--active_ == 0 && queue_.empty()) {
+    idle_.notify_all();
+  }
+}
+
+void serving_session::launch_unit(std::shared_ptr<exec_unit> unit) {
+  {
+    // Bound the passes in flight: their result (and fused input) buffers
+    // are the dispatcher's only unbounded memory under a flood. Workers
+    // retire passes independently of the dispatchers, so this always
+    // clears.
+    std::unique_lock<std::mutex> lock{mutex_};
+    unit_retired_.wait(lock, [this] { return inflight_units_ < max_inflight_units_; });
+    ++inflight_units_;
+    if (unit->fused) {
+      ++metrics_.fused_passes;
+      metrics_.coalesced_requests += unit->members.size();
+    } else {
+      ++metrics_.singleton_passes;
+    }
+  }
+
+  const std::size_t num_pos = unit->program->num_pos();
+  unit->out_words.resize(unit->total_chunks * num_pos);
+  const std::size_t block =
+      compiled_netlist::shard_block_chunks(unit->total_chunks, executor_.num_threads());
+  const std::size_t num_blocks = unit->total_chunks == 0 ? 0 : (unit->total_chunks + block - 1) / block;
+
+  // Completion-token execution: the dispatcher returns to its queue as soon
+  // as the pass is enqueued; the worker finishing the last plane-block
+  // slices results back and fires the callbacks. An empty pass (zero-wave
+  // request) completes inline right here.
+  std::shared_ptr<exec_unit> task_ref = unit;
+  executor_.submit_group(
+      num_blocks,
+      [this, unit, block](std::size_t b, unsigned worker) {
+        const std::size_t first = b * block;
+        const std::size_t count = std::min(block, unit->total_chunks - first);
+        const wave_block_view pis =
+            unit->fused ? wave_block_view{unit->in_words.data(), unit->total_chunks,
+                                          unit->program->num_pis(), unit->total_chunks}
+                        : unit->batch.view();
+        const wave_block_mut_view pos{unit->out_words.data(), unit->total_chunks,
+                                      unit->program->num_pos(), unit->total_chunks};
+        eval_packed_planes(*unit->program, pis.slice(first, count), pos.slice(first, count),
+                           executor_.scratch(worker));
+      },
+      [this, task_ref](std::exception_ptr error) { finish_unit(task_ref, error); });
+}
+
+void serving_session::finish_unit(const std::shared_ptr<exec_unit>& unit,
+                                  std::exception_ptr error) {
+  const std::size_t num_pos = unit->program->num_pos();
+  for (std::size_t m = 0; m < unit->members.size(); ++m) {
+    request& req = unit->members[m];
+    packed_wave_result result;
+    if (!error) {
+      result.num_pos = num_pos;
+      result.num_waves = unit->member_waves[m];
+      fill_packed_clock_metrics(result, *unit->program, unit->phases, result.num_waves);
+      const std::size_t chunks = result.num_chunks();
+      if (!unit->fused) {
+        result.words = std::move(unit->out_words);
+      } else {
+        result.words.resize(chunks * num_pos);
+        const std::size_t offset = unit->member_offsets[m];
+        for (std::size_t p = 0; p < num_pos; ++p) {
+          std::memcpy(result.words.data() + p * chunks,
+                      unit->out_words.data() + p * unit->total_chunks + offset,
+                      chunks * sizeof(std::uint64_t));
+        }
+      }
+      detail::mask_result_tail(result);
+    }
+    // Callbacks fire before the members retire from active_, so a drain()
+    // racing a callback's follow-up submit never observes a false idle.
     try {
       if (req.done) {
         req.done(std::move(result), error);
       }
     } catch (...) {
     }
-    req = request{};  // release the network/batch before reporting idle
+    req = request{};
+  }
 
-    {
-      std::lock_guard<std::mutex> lock{mutex_};
-      if (--active_ == 0 && queue_.empty()) {
-        idle_.notify_all();
-      }
-    }
+  const std::size_t retired = unit->members.size();
+  const bool failed = error != nullptr;
+  // Final accounting, with every notify under the lock: once a waiter
+  // (drain/close) observes active_ == 0 it may destroy the session, and it
+  // can only observe that after this unlock completes — nothing here
+  // touches `this` afterwards.
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (failed) {
+    metrics_.requests_failed += retired;
+  } else {
+    metrics_.requests_completed += retired;
+  }
+  --inflight_units_;
+  unit_retired_.notify_one();
+  active_ -= retired;
+  if (active_ == 0 && queue_.empty()) {
+    idle_.notify_all();
   }
 }
+
+// ------------------------------------------------------------ control ---
 
 void serving_session::drain() {
   std::unique_lock<std::mutex> lock{mutex_};
@@ -167,6 +462,16 @@ void serving_session::close() {
 std::size_t serving_session::pending() const {
   std::lock_guard<std::mutex> lock{mutex_};
   return queue_.size() + active_;
+}
+
+serving_metrics serving_session::metrics() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return metrics_;
+}
+
+std::vector<double> serving_session::take_queue_wait_samples() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return std::exchange(queue_wait_samples_, {});
 }
 
 }  // namespace wavemig::engine

@@ -16,6 +16,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <future>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <string>
@@ -260,6 +262,56 @@ TEST(differential, layout_round_trip_is_an_involution) {
 /// The zero-copy serving path (pre-transposed plane words adopted without
 /// repacking) against the scalar reference: bit-identical outputs at every
 /// wave count including the tail-chunk corners.
+/// PR-6 referee: the coalesced serving path and both direct-write streams
+/// (hinted wave_stream and hinted parallel_wave_stream) pinned bit-identical
+/// to run_waves_packed across the chunk-boundary wave counts.
+TEST(differential, coalesced_serving_and_direct_streams_match_packed) {
+  engine::parallel_executor executor{4};
+  engine::serving_session serving{executor, {}, {}, 1};
+
+  for (const std::size_t num_waves : {1ull, 63ull, 64ull, 65ull, 511ull}) {
+    const auto net = gen::random_mig({11, 130, 0.5, 8, 6000 + num_waves});
+    const auto shared = std::make_shared<const mig_network>(net);
+    const auto balanced = insert_buffers(net);
+    const engine::compiled_netlist compiled{balanced.net, balanced.schedule};
+    const auto waves = random_waves(num_waves, net.num_pis(), num_waves * 13 + 1);
+    const auto batch = engine::wave_batch::from_waves(waves, net.num_pis());
+    const auto reference = engine::run_waves_packed(compiled, batch, 3);
+    const std::string what = std::to_string(num_waves) + " waves";
+
+    // Burst of identical small same-program requests: whatever the
+    // dispatcher fuses, every sliced-back result must equal the packed run.
+    std::vector<std::future<engine::packed_wave_result>> futures;
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(serving.submit(shared, batch, 3));
+    }
+    for (auto& future : futures) {
+      const auto got = future.get();
+      EXPECT_EQ(got.words, reference.words) << what;
+      EXPECT_EQ(got.num_waves, reference.num_waves) << what;
+      EXPECT_EQ(got.ticks, reference.ticks) << what;
+    }
+
+    // Hinted (direct-write) single-threaded stream.
+    engine::wave_stream hinted{compiled, 3, num_waves};
+    for (const auto& wave : waves) {
+      hinted.push(wave);
+    }
+    const auto streamed = hinted.finish();
+    EXPECT_EQ(streamed.words, reference.words) << what;
+    EXPECT_EQ(streamed.ticks, reference.ticks) << what;
+
+    // Hinted (direct-write) parallel stream.
+    engine::parallel_wave_stream parallel_hinted{compiled, 3, executor, num_waves};
+    for (const auto& wave : waves) {
+      parallel_hinted.push(wave);
+    }
+    const auto parallel_streamed = parallel_hinted.finish();
+    EXPECT_EQ(parallel_streamed.words, reference.words) << what;
+    EXPECT_EQ(parallel_streamed.ticks, reference.ticks) << what;
+  }
+}
+
 TEST(differential, submit_packed_agrees_with_scalar_run_waves) {
   engine::parallel_executor executor{4};
   engine::serving_session serving{executor, {}, {}, 0, {.opt_level = 2}};

@@ -390,6 +390,42 @@ TEST(wave_stream, wave_count_hint_changes_nothing_observable) {
   EXPECT_EQ(hinted.finish().unpack()[0], b.unpack()[0]);
 }
 
+TEST(wave_stream, hint_exact_overshoot_and_undershoot_match_packed) {
+  const auto balanced = insert_buffers(gen::multiplier_circuit(4)).net;
+  const engine::compiled_netlist compiled{balanced};
+  constexpr std::size_t block = engine::wave_stream::block_waves;
+  // Multi-block runs so the direct-write path crosses block boundaries, plus
+  // a partial tail chunk.
+  const auto waves = random_waves(2 * block + 77, balanced.num_pis(), 57);
+  const auto batch = engine::wave_batch::from_waves(waves, balanced.num_pis());
+  const auto reference = engine::run_waves_packed(compiled, batch, 3);
+
+  // Exact hint: finish() hands the direct buffer out without copying.
+  // Overshoot: the over-strided planes are compacted in place at finish().
+  // Undershoot: the stream re-strides mid-run when the hint proves too small.
+  for (const std::size_t hint : {waves.size(), waves.size() * 3, std::size_t{64}}) {
+    engine::wave_stream stream{compiled, 3, hint};
+    for (const auto& wave : waves) {
+      stream.push(wave);
+    }
+    const auto result = stream.finish();
+    EXPECT_EQ(result.words, reference.words) << "hint=" << hint;
+    EXPECT_EQ(result.num_waves, reference.num_waves) << "hint=" << hint;
+    EXPECT_EQ(result.ticks, reference.ticks) << "hint=" << hint;
+
+    // The reset stream stays hinted and exact on reuse with a different size.
+    const auto rerun = random_waves(130, balanced.num_pis(), 58);
+    for (const auto& wave : rerun) {
+      stream.push(wave);
+    }
+    const auto rerun_result = stream.finish();
+    const auto rerun_reference = engine::run_waves_packed(
+        compiled, engine::wave_batch::from_waves(rerun, balanced.num_pis()), 3);
+    EXPECT_EQ(rerun_result.words, rerun_reference.words) << "hint=" << hint;
+    EXPECT_EQ(rerun_result.num_waves, rerun_reference.num_waves) << "hint=" << hint;
+  }
+}
+
 TEST(wave_batch, append_validates_width_and_leaves_batch_usable) {
   engine::wave_batch batch{3};
   batch.append({true, false, true});

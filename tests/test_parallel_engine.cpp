@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <random>
 #include <stdexcept>
 #include <thread>
@@ -127,6 +129,110 @@ TEST(parallel_executor, for_each_propagates_exceptions) {
   EXPECT_EQ(count.load(), 10u);
 }
 
+TEST(parallel_executor, submit_group_completes_without_blocking_the_caller) {
+  engine::parallel_executor executor{4};
+  constexpr std::size_t num_tasks = 300;
+  std::vector<std::atomic<int>> hits(num_tasks);
+  const auto group = executor.submit_group(num_tasks, [&](std::size_t task, unsigned worker) {
+    ASSERT_LT(worker, executor.num_threads());
+    hits[task].fetch_add(1);
+  });
+  ASSERT_TRUE(group.valid());
+  group.wait();
+  EXPECT_TRUE(group.done());
+  EXPECT_EQ(group.error(), nullptr);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    EXPECT_EQ(hits[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(parallel_executor, submit_group_fires_on_complete_exactly_once) {
+  engine::parallel_executor executor{3};
+  std::atomic<int> fired{0};
+  std::promise<std::exception_ptr> completion;
+  auto completed = completion.get_future();
+  (void)executor.submit_group(
+      64, [](std::size_t, unsigned) {},
+      [&](std::exception_ptr error) {
+        fired.fetch_add(1);
+        completion.set_value(error);
+      });
+  EXPECT_EQ(completed.get(), nullptr);
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(parallel_executor, empty_group_completes_inline) {
+  engine::parallel_executor executor{2};
+  std::atomic<int> fired{0};
+  const auto group = executor.submit_group(
+      0, [](std::size_t, unsigned) { FAIL() << "no task should run"; },
+      [&](std::exception_ptr error) {
+        EXPECT_EQ(error, nullptr);
+        fired.fetch_add(1);
+      });
+  // A zero-task group is done — and its completion has fired — before
+  // submit_group returns, on the calling thread.
+  EXPECT_TRUE(group.done());
+  EXPECT_EQ(fired.load(), 1);
+  group.wait();
+  EXPECT_EQ(group.error(), nullptr);
+}
+
+TEST(parallel_executor, submit_group_captures_the_error_and_cancels) {
+  engine::parallel_executor executor{2};
+  std::atomic<std::size_t> ran{0};
+  std::atomic<bool> thrown{false};
+  std::promise<std::exception_ptr> completion;
+  auto completed = completion.get_future();
+  (void)executor.submit_group(
+      256,
+      [&](std::size_t, unsigned) {
+        // The first task to actually execute throws — index-independent, so
+        // no steal order can run the whole group before the error. The rest
+        // are slowed down enough that cancellation must catch the tail.
+        if (!thrown.exchange(true)) {
+          throw std::runtime_error{"boom"};
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds{200});
+        ran.fetch_add(1);
+      },
+      [&](std::exception_ptr error) { completion.set_value(error); });
+  const std::exception_ptr error = completed.get();
+  ASSERT_NE(error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), std::runtime_error);
+  // Cancellation skips tasks not yet started: the tail of the group must
+  // never have run.
+  EXPECT_LT(ran.load(), 255u);
+  // The pool survives and keeps serving.
+  std::atomic<std::size_t> count{0};
+  executor.for_each(10, [&](std::size_t, unsigned) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(parallel_executor, concurrent_groups_from_many_threads_all_complete) {
+  engine::parallel_executor executor{4};
+  constexpr std::size_t submitters = 6;
+  constexpr std::size_t groups_each = 20;
+  constexpr std::size_t tasks_per_group = 37;
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(submitters);
+  for (std::size_t s = 0; s < submitters; ++s) {
+    threads.emplace_back([&] {
+      for (std::size_t g = 0; g < groups_each; ++g) {
+        const auto group = executor.submit_group(
+            tasks_per_group, [&](std::size_t, unsigned) { total.fetch_add(1); });
+        group.wait();
+        EXPECT_EQ(group.error(), nullptr);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), submitters * groups_each * tasks_per_group);
+}
+
 TEST(parallel_stream, matches_packed_and_is_reusable) {
   const auto balanced = insert_buffers(gen::multiplier_circuit(4)).net;
   const engine::compiled_netlist compiled{balanced};
@@ -166,6 +272,45 @@ TEST(parallel_stream, validates_like_the_packed_path) {
   const auto empty = stream.finish();
   EXPECT_EQ(empty.num_waves, 0u);
   EXPECT_EQ(empty.ticks, 0u);
+}
+
+TEST(parallel_stream, wave_count_hint_is_bit_identical_exact_over_and_under) {
+  const auto balanced = insert_buffers(gen::multiplier_circuit(4)).net;
+  const engine::compiled_netlist compiled{balanced};
+  engine::parallel_executor executor{4};
+  const auto waves = random_waves(333, balanced.num_pis(), 123);
+  const auto batch = engine::wave_batch::from_waves(waves, balanced.num_pis());
+  const auto reference = engine::run_waves_packed(compiled, batch, 3);
+
+  // Exact hint (direct write, zero-copy finish), overshoot (finish
+  // compacts the over-strided planes) and undershoot (mid-run re-stride)
+  // must all be observationally identical to the unhinted splice path.
+  for (const std::size_t hint : {waves.size(), waves.size() * 4, std::size_t{1}}) {
+    engine::parallel_wave_stream stream{compiled, 3, executor, hint};
+    for (const auto& wave : waves) {
+      stream.push(wave);
+    }
+    expect_bit_identical(stream.finish(), reference, "hint=" + std::to_string(hint));
+  }
+}
+
+TEST(parallel_stream, hinted_stream_resets_and_is_reusable) {
+  const auto balanced = insert_buffers(gen::ripple_adder_circuit(6)).net;
+  const engine::compiled_netlist compiled{balanced};
+  engine::parallel_executor executor{2};
+
+  engine::parallel_wave_stream stream{compiled, 3, executor, 640};
+  for (const std::size_t num_waves : {640ull, 65ull, 1000ull}) {
+    const auto waves = random_waves(num_waves, balanced.num_pis(), 777 + num_waves);
+    const auto batch = engine::wave_batch::from_waves(waves, balanced.num_pis());
+    const auto reference = engine::run_waves_packed(compiled, batch, 3);
+    for (const auto& wave : waves) {
+      stream.push(wave);
+    }
+    expect_bit_identical(stream.finish(), reference,
+                         "hinted reuse waves=" + std::to_string(num_waves));
+    EXPECT_EQ(stream.waves_pushed(), 0u);
+  }
 }
 
 TEST(batch_session, caches_compiled_netlists_per_network_and_phases) {

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <future>
+#include <memory>
 #include <random>
 #include <stdexcept>
 #include <thread>
@@ -349,6 +351,225 @@ TEST(serving_session, eviction_races_in_flight_requests) {
   EXPECT_EQ(stats.hits + stats.misses, 3u * per_thread);
   EXPECT_LE(stats.entries, 1u);
   EXPECT_GT(stats.evictions, 0u);
+}
+
+// ------------------------------------------------ dispatcher coalescing ---
+
+TEST(serving_coalescing, many_small_same_program_requests_fuse_and_stay_exact) {
+  // A single-worker pool and a single dispatcher make coalescing
+  // deterministic: with the worker parked below, no exec unit can retire, so
+  // the dispatcher stalls on the in-flight cap while the burst piles up in
+  // the queue — the requests still waiting are then guaranteed to arrive in
+  // one gulp and fuse.
+  engine::parallel_executor executor{1};
+  engine::serving_session serving{executor, {}, {}, 1};
+
+  const auto net = std::make_shared<const mig_network>(gen::multiplier_circuit(4));
+  // Warm the cache (while the worker is still free) so the burst is pure-hit.
+  serving.submit(net, batch_for(*net, 64, 9000), 3).get();
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  executor.submit([released](unsigned) { released.wait(); });
+
+  constexpr int burst = 24;
+  std::vector<engine::wave_batch> batches;
+  std::vector<std::future<engine::packed_wave_result>> futures;
+  batches.reserve(burst);
+  for (int i = 0; i < burst; ++i) {
+    // Small (a few chunks at most) so they qualify for fusing, with uneven
+    // tails to exercise per-member masking inside the fused block.
+    batches.push_back(batch_for(*net, 30 + 19 * (i % 7), 9100 + i));
+  }
+  for (const auto& batch : batches) {
+    futures.push_back(serving.submit(net, batch, 3));
+  }
+  release.set_value();
+
+  for (int i = 0; i < burst; ++i) {
+    const auto got = futures[i].get();
+    const auto want = packed_reference(*net, batches[i], 3);
+    EXPECT_EQ(got.words, want.words) << "request " << i;
+    EXPECT_EQ(got.num_waves, want.num_waves) << "request " << i;
+    EXPECT_EQ(got.ticks, want.ticks) << "request " << i;
+  }
+  serving.drain();
+
+  const auto metrics = serving.metrics();
+  EXPECT_EQ(metrics.requests_accepted, 1u + burst);
+  EXPECT_EQ(metrics.requests_completed, 1u + burst);
+  EXPECT_EQ(metrics.requests_failed, 0u);
+  EXPECT_GT(metrics.coalesced_requests, 0u);
+  EXPECT_GT(metrics.fused_passes, 0u);
+  EXPECT_GT(metrics.gulps, 0u);
+  EXPECT_GE(metrics.max_gulp, 2u);
+  // Fused passes execute fewer pool submissions than requests.
+  EXPECT_LT(metrics.fused_passes + metrics.singleton_passes, 1u + burst);
+  // Per-request compile bookkeeping is preserved under coalescing.
+  const auto stats = serving.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 1u + burst);
+}
+
+TEST(serving_coalescing, mixed_programs_in_one_gulp_group_by_program) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor, {}, {}, 1};
+
+  const auto adder = std::make_shared<const mig_network>(gen::ripple_adder_circuit(5));
+  const auto parity = std::make_shared<const mig_network>(gen::parity_circuit(9));
+  serving.submit(adder, batch_for(*adder, 64, 40), 3).get();
+  serving.submit(parity, batch_for(*parity, 64, 41), 3).get();
+
+  std::vector<std::future<engine::packed_wave_result>> futures;
+  std::vector<engine::wave_batch> batches;
+  std::vector<const mig_network*> nets;
+  for (int i = 0; i < 16; ++i) {
+    const auto& net = (i % 2 == 0) ? adder : parity;
+    batches.push_back(batch_for(*net, 50 + 13 * i, 4000 + i));
+    nets.push_back(net.get());
+    futures.push_back(serving.submit(net, batches.back(), 3));
+  }
+  for (int i = 0; i < 16; ++i) {
+    const auto want = packed_reference(*nets[i], batches[i], 3);
+    EXPECT_EQ(futures[i].get().words, want.words) << "request " << i;
+  }
+  serving.drain();
+  // Two distinct programs never share a fused pass; both still complete.
+  EXPECT_EQ(serving.metrics().requests_completed, 18u);
+  EXPECT_EQ(serving.metrics().requests_failed, 0u);
+  EXPECT_EQ(serving.stats().entries, 2u);
+}
+
+TEST(serving_coalescing, a_bad_request_fails_alone_inside_a_gulp) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor, {}, {}, 1};
+
+  const auto net = std::make_shared<const mig_network>(gen::ripple_adder_circuit(4));
+  serving.submit(net, batch_for(*net, 64, 70), 3).get();
+
+  // A PI-width mismatch sandwiched between healthy small requests: the
+  // dispatcher must fail it at prepare time and still fuse/run the rest.
+  std::vector<std::future<engine::packed_wave_result>> good;
+  std::vector<engine::wave_batch> batches;
+  for (int i = 0; i < 4; ++i) {
+    batches.push_back(batch_for(*net, 40 + i, 7100 + i));
+  }
+  good.push_back(serving.submit(net, batches[0], 3));
+  good.push_back(serving.submit(net, batches[1], 3));
+  auto bad = serving.submit(net, engine::wave_batch{net->num_pis() + 2}, 3);
+  good.push_back(serving.submit(net, batches[2], 3));
+  good.push_back(serving.submit(net, batches[3], 3));
+
+  EXPECT_THROW(bad.get(), std::invalid_argument);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(good[i].get().words, packed_reference(*net, batches[i], 3).words)
+        << "request " << i;
+  }
+  serving.drain();
+  EXPECT_EQ(serving.metrics().requests_failed, 1u);
+  EXPECT_EQ(serving.metrics().requests_completed, 5u);
+}
+
+TEST(serving_coalescing, shared_ptr_submit_skips_the_deep_copy) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor};
+
+  const auto net = std::make_shared<const mig_network>(gen::multiplier_circuit(3));
+  const auto batch = batch_for(*net, 120, 55);
+  const auto want = packed_reference(*net, batch, 3);
+
+  // Future and callback shared_ptr overloads, plus the packed variant.
+  EXPECT_EQ(serving.submit(net, batch, 3).get().words, want.words);
+  std::promise<engine::packed_wave_result> delivered;
+  serving.submit(net, batch, 3,
+                 [&](engine::packed_wave_result result, std::exception_ptr error) {
+                   ASSERT_EQ(error, nullptr);
+                   delivered.set_value(std::move(result));
+                 });
+  EXPECT_EQ(delivered.get_future().get().words, want.words);
+
+  const auto packed_batch = batch_for(*net, 90, 56);
+  std::vector<std::uint64_t> planes(packed_batch.num_chunks() * net->num_pis());
+  for (std::size_t i = 0; i < net->num_pis(); ++i) {
+    std::copy_n(packed_batch.plane(i), packed_batch.num_chunks(),
+                planes.begin() + static_cast<std::ptrdiff_t>(i * packed_batch.num_chunks()));
+  }
+  EXPECT_EQ(
+      serving.submit_packed(net, std::move(planes), packed_batch.num_waves(), 3).get().words,
+      packed_reference(*net, packed_batch, 3).words);
+  serving.drain();
+  EXPECT_EQ(serving.stats().hits + serving.stats().misses, 3u);
+  EXPECT_EQ(serving.stats().entries, 1u);
+}
+
+TEST(serving_coalescing, queue_wait_samples_are_recorded_and_taken) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor};
+  const auto net = std::make_shared<const mig_network>(gen::parity_circuit(8));
+  for (int i = 0; i < 6; ++i) {
+    (void)serving.submit(net, batch_for(*net, 80, 600 + i), 3);
+  }
+  serving.drain();
+  const auto samples = serving.take_queue_wait_samples();
+  EXPECT_EQ(samples.size(), 6u);
+  for (const double ms : samples) {
+    EXPECT_GE(ms, 0.0);
+  }
+  // take_* is destructive: the reservoir restarts empty.
+  EXPECT_TRUE(serving.take_queue_wait_samples().empty());
+}
+
+/// The TSan target of the executor work: concurrent hinted parallel streams
+/// and coalesced serving submissions sharing one work-stealing pool, so
+/// steals, group completions, and dispatcher gulps all interleave.
+TEST(serving_coalescing, streams_and_serving_share_the_stealing_pool) {
+  engine::parallel_executor executor{4};
+  engine::serving_session serving{executor, {}, {}, 2};
+
+  const auto net = std::make_shared<const mig_network>(gen::multiplier_circuit(4));
+  const auto balanced = insert_buffers(*net);
+  const engine::compiled_netlist compiled{balanced.net, balanced.schedule};
+
+  std::atomic<int> failures{0};
+  const auto stream_thread = [&](std::uint64_t seed) {
+    const auto waves = random_waves(700, net->num_pis(), seed);
+    const auto want = engine::run_waves_packed(
+        compiled, engine::wave_batch::from_waves(waves, net->num_pis()), 3);
+    engine::parallel_wave_stream stream{compiled, 3, executor, waves.size()};
+    for (int round = 0; round < 3; ++round) {
+      for (const auto& wave : waves) {
+        stream.push(wave);
+      }
+      if (stream.finish().words != want.words) {
+        failures.fetch_add(1);
+      }
+    }
+  };
+  const auto serving_thread = [&](std::uint64_t seed) {
+    std::vector<engine::wave_batch> batches;
+    std::vector<std::future<engine::packed_wave_result>> futures;
+    for (int i = 0; i < 12; ++i) {
+      batches.push_back(batch_for(*net, 40 + 11 * i, seed + i));
+      futures.push_back(serving.submit(net, batches.back(), 3));
+    }
+    for (int i = 0; i < 12; ++i) {
+      if (futures[i].get().words != packed_reference(*net, batches[i], 3).words) {
+        failures.fetch_add(1);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(stream_thread, 8801);
+  threads.emplace_back(stream_thread, 8802);
+  threads.emplace_back(serving_thread, 8900);
+  threads.emplace_back(serving_thread, 9000);
+  for (auto& t : threads) {
+    t.join();
+  }
+  serving.drain();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(serving.metrics().requests_failed, 0u);
+  EXPECT_EQ(serving.metrics().requests_completed, 24u);
 }
 
 }  // namespace
