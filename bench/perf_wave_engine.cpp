@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +42,8 @@
 #include "wavemig/gen/arith.hpp"
 #include "wavemig/gen/random_mig.hpp"
 #include "wavemig/levels.hpp"
+#include "wavemig/pipeline.hpp"
+#include "wavemig/tech_scenario.hpp"
 #include "wavemig/wave_simulator.hpp"
 
 using namespace wavemig;
@@ -610,6 +613,84 @@ int main(int argc, char** argv) {
     dispatch_records.push_back(run_dispatch_scenario("hot_cold", hot_cold));
   }
 
+  // --- technology scenario sweep --------------------------------------------
+  // The same raw adder through the scenario-keyed batch_session, once per
+  // built-in scenario. Every scenario computes the same function (words are
+  // checked against the packed reference), but each compiles its own
+  // program: the scenario's fan-out limit and loss budget reshape the
+  // prepared netlist, so steady-state throughput differs per target.
+  struct scenario_record {
+    std::string key;  // json-safe: lower-case, '-' -> '_'
+    double wps{0.0};
+    std::size_t repeaters{0};
+    std::size_t components{0};
+    std::uint32_t depth{0};
+    unsigned fdm_lanes{1};
+  };
+  std::vector<scenario_record> scenario_records;
+  {
+    engine::batch_session scenario_session{serve_executor};
+    for (const auto& name : tech_scenario::names()) {
+      const auto scenario = tech_scenario::by_name(name);
+      scenario_record rec;
+      rec.key = name;
+      for (auto& c : rec.key) {
+        c = c == '-' ? '_' : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      rec.fdm_lanes = scenario.fdm_lanes;
+
+      pipeline_options opts;
+      opts.scenario = scenario;
+      const auto piped = wave_pipeline(raw, opts);
+      rec.repeaters = piped.repeater_buffers_added;
+      rec.components = piped.final_stats.components;
+      rec.depth = piped.depth_after;
+
+      // Warm the cache (one compile miss), then measure steady-state hits.
+      const auto warm = scenario_session.run(raw, sweep_batch, phases, scenario);
+      if (warm.words != sweep_reference.words) {
+        std::fprintf(stderr, "FATAL: scenario '%s' diverges from the packed reference\n",
+                     name.c_str());
+        return 2;
+      }
+      rec.wps = measure_wps(sweep_waves, [&] {
+        (void)scenario_session.run(raw, sweep_batch, phases, scenario);
+      });
+      scenario_records.push_back(std::move(rec));
+    }
+  }
+
+  // Default-scenario no-regression gate: the SWD scenario prepares the
+  // netlist exactly as the historical default flow does, so the SWD-tagged
+  // program and the untagged program compiled from the same prepared
+  // netlist are identical modulo the cache tag. Tagging must therefore be
+  // free at run time — best-of-two windows per side, ratio gated at 0.8 so
+  // timer noise on a shared runner cannot fail an identical-program pair.
+  double scenario_gate_ratio = 0.0;
+  bool scenario_gate_ok = false;
+  {
+    const auto prepared = wave_pipeline(raw, {});
+    const engine::compiled_netlist untagged{prepared.net};
+    engine::compile_options tagged_options;
+    tagged_options.scenario_fingerprint = tech_scenario::swd().fingerprint();
+    const engine::compiled_netlist tagged{prepared.net, tagged_options};
+    const auto untagged_run = engine::run_waves_packed(untagged, sweep_batch, phases);
+    const auto tagged_run = engine::run_waves_packed(tagged, sweep_batch, phases);
+    if (untagged_run.words != tagged_run.words ||
+        untagged_run.words != sweep_reference.words) {
+      std::fprintf(stderr, "FATAL: scenario-tagged program diverges from untagged\n");
+      return 2;
+    }
+    const auto best_of_two = [&](const engine::compiled_netlist& program) {
+      const auto pass = [&] { (void)engine::run_waves_packed(program, sweep_batch, phases); };
+      return std::max(measure_wps(sweep_waves, pass), measure_wps(sweep_waves, pass));
+    };
+    const double untagged_wps = best_of_two(untagged);
+    const double tagged_wps = best_of_two(tagged);
+    scenario_gate_ratio = tagged_wps / untagged_wps;
+    scenario_gate_ok = scenario_gate_ratio >= 0.8;
+  }
+
   // The serving/scaling gates are decoration on a 1-core host (nothing can
   // scale); they are enforced wherever the hardware can actually express
   // the property — the multi-core CI runner.
@@ -697,6 +778,22 @@ int main(int argc, char** argv) {
                        static_cast<double>(byte_bound));
     bench::json_record("perf_wave_engine", "serving_cache_max_resident_bytes",
                        static_cast<double>(churn_max_bytes));
+    for (const auto& rec : scenario_records) {
+      const std::string prefix = std::string{"scenario_"} + rec.key;
+      bench::json_record("perf_wave_engine", prefix + "_waves_per_s", rec.wps);
+      bench::json_record("perf_wave_engine", prefix + "_repeaters",
+                         static_cast<double>(rec.repeaters));
+      bench::json_record("perf_wave_engine", prefix + "_components",
+                         static_cast<double>(rec.components));
+      bench::json_record("perf_wave_engine", prefix + "_depth",
+                         static_cast<double>(rec.depth));
+      bench::json_record("perf_wave_engine", prefix + "_fdm_lanes",
+                         static_cast<double>(rec.fdm_lanes));
+    }
+    bench::json_record("perf_wave_engine", "scenario_default_gate_ratio",
+                       scenario_gate_ratio);
+    bench::json_record("perf_wave_engine", "scenario_gate_ok",
+                       scenario_gate_ok ? 1.0 : 0.0);
     bench::json_record("perf_wave_engine", "serving_scaling_gates_enforced",
                        hw_threads > 1 ? 1.0 : 0.0);
     bench::json_record("perf_wave_engine", "serving_scaling_gates_ok",
@@ -767,6 +864,18 @@ int main(int argc, char** argv) {
     std::printf("%-22s %14zu (bound %zu: %s)\n", "max resident bytes", churn_max_bytes,
                 byte_bound, churn_max_bytes <= byte_bound ? "OK" : "EXCEEDED");
 
+    std::printf("\ntechnology scenario sweep — %zu waves through the scenario-keyed "
+                "session\n",
+                sweep_waves);
+    std::printf("%-12s %14s %8s %12s %8s %8s\n", "scenario", "waves/s", "lanes",
+                "components", "depth", "reps");
+    bench::print_rule('-', 68);
+    for (const auto& rec : scenario_records) {
+      std::printf("%-12s %14s %8u %12zu %8u %8zu\n", rec.key.c_str(),
+                  bench::fmt(rec.wps).c_str(), rec.fdm_lanes, rec.components, rec.depth,
+                  rec.repeaters);
+    }
+
     std::printf("\nacceptance: packed >= 10x over seed scalar: %s (%sx)\n",
                 packed_speedup >= 10.0 ? "PASS" : "FAIL",
                 bench::fmt(packed_speedup).c_str());
@@ -776,6 +885,9 @@ int main(int argc, char** argv) {
     std::printf("acceptance: plane-major holds the PR-4 (chunk-major) throughput on every "
                 "netlist: %s\n",
                 plane_holds_pr4 ? "PASS" : "FAIL");
+    std::printf("acceptance: scenario tagging costs nothing on the default scenario "
+                "(>= 0.8): %s (%s)\n",
+                scenario_gate_ok ? "PASS" : "FAIL", bench::fmt(scenario_gate_ratio).c_str());
     if (hw_threads > 1) {
       std::printf("acceptance: serving_async_vs_parallel >= 0.85: %s (%s)\n",
                   serving_vs_parallel >= 0.85 ? "PASS" : "FAIL",
@@ -789,7 +901,7 @@ int main(int argc, char** argv) {
   }
 
   return packed_speedup >= 10.0 && best_kernel_speedup >= 2.0 && plane_holds_pr4 &&
-                 multicore_ok
+                 scenario_gate_ok && multicore_ok
              ? 0
              : 1;
 }

@@ -214,7 +214,7 @@ int main(int argc, char** argv) {
     bi.tolerance = args.tolerance;
     if (opts.fanout_limit) {
       bi.strategy = buffer_strategy::tree;
-      bi.fanout_limit = opts.fanout_limit;
+      bi.fanout_limit = *opts.fanout_limit;
     }
     balanced = insert_buffers(piped.net, bi);
   } else {

@@ -24,6 +24,17 @@ namespace wavemig::engine {
 ///   what keeps the multi-word packed kernel cache-resident on big MIGs.
 struct compile_options {
   unsigned opt_level{0};
+  /// Technology-scenario tag of the program (tech_scenario::fingerprint());
+  /// 0 = untagged. The tag flows into the batch/serving cache key, so one
+  /// session caches and serves different scenarios of the same netlist as
+  /// distinct programs. It never changes the computed output words.
+  std::uint64_t scenario_fingerprint{0};
+  /// FDM lanes of the scenario (logical waves per physical conduit slot);
+  /// 1 = no multiplexing. Affects clock metadata only: with n lanes a batch
+  /// of w waves occupies ceil(w/n) physical slots and n waves ride each
+  /// phase, so `ticks` shrinks and `waves_in_flight` grows n-fold while the
+  /// computed outputs stay bit-identical.
+  unsigned fdm_lanes{1};
 };
 
 /// What the optimizer did to one compiled program. `ops_before/after` and

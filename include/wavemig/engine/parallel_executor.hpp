@@ -15,6 +15,7 @@
 #include "wavemig/buffer_insertion.hpp"
 #include "wavemig/engine/compiled_netlist.hpp"
 #include "wavemig/engine/wave_engine.hpp"
+#include "wavemig/tech_scenario.hpp"
 
 namespace wavemig::engine {
 
@@ -347,6 +348,13 @@ public:
   /// `run_waves_packed` on the balanced network.
   packed_wave_result run(const mig_network& net, const wave_batch& waves, unsigned phases);
 
+  /// Scenario-parameterized run: the program is prepared by the full
+  /// scenario pipeline (fan-out restriction, loss-budget repeaters, then
+  /// balancing) and cached under the scenario's fingerprint, so one session
+  /// serves several scenarios of the same netlist as distinct programs.
+  packed_wave_result run(const mig_network& net, const wave_batch& waves, unsigned phases,
+                         const tech_scenario& scenario);
+
   /// The cache lookup half of `run`: returns the (balanced + lowered)
   /// program for `net`, compiling on a miss and touching the LRU order on a
   /// hit. The returned reference keeps the program alive independently of
@@ -363,6 +371,24 @@ public:
   [[nodiscard]] std::shared_ptr<const compiled_netlist> compile(
       const mig_network& net, unsigned phases, std::uint64_t fingerprint);
 
+  /// Scenario-tagged compile: on a miss the network is prepared by the full
+  /// scenario pipeline (wave_pipeline with this session's strategy/schedule
+  /// and the scenario's fan-out limit and loss budget) and lowered with
+  /// compile_options carrying the scenario fingerprint and FDM lane count.
+  /// The cache key gains the scenario fingerprint, so the same netlist
+  /// compiled under two scenarios — or with and without one — occupies
+  /// distinct entries serving distinct programs.
+  [[nodiscard]] std::shared_ptr<const compiled_netlist> compile(const mig_network& net,
+                                                                unsigned phases,
+                                                                const tech_scenario& scenario);
+
+  /// Fingerprint fast path of the scenario-tagged compile (see above);
+  /// `fingerprint` must equal `network_fingerprint(net)`.
+  [[nodiscard]] std::shared_ptr<const compiled_netlist> compile(const mig_network& net,
+                                                                unsigned phases,
+                                                                std::uint64_t fingerprint,
+                                                                const tech_scenario& scenario);
+
   [[nodiscard]] session_stats stats() const;
   [[nodiscard]] std::size_t cached_netlists() const;
   [[nodiscard]] std::uint64_t cache_hits() const;
@@ -373,6 +399,10 @@ private:
     std::uint64_t fingerprint;
     buffer_strategy strategy;
     unsigned phases;
+    /// tech_scenario::fingerprint() of the request's scenario; 0 = untagged
+    /// (the scenario-less compile path — tech_scenario fingerprints are
+    /// never 0).
+    std::uint64_t scenario{0};
     friend bool operator==(const cache_key&, const cache_key&) = default;
   };
   struct cache_key_hash {
@@ -386,6 +416,13 @@ private:
 
   /// Pops LRU entries until both bounds hold again. Caller holds mutex_.
   void evict_to_limits();
+  /// Cache-hit half of compile: touches the LRU order and returns the
+  /// program, or null on a miss. Takes mutex_.
+  [[nodiscard]] std::shared_ptr<const compiled_netlist> lookup(const cache_key& key);
+  /// Miss half: inserts `fresh` (first insert wins on a racing miss),
+  /// evicts to limits, and returns the surviving program. Takes mutex_.
+  [[nodiscard]] std::shared_ptr<const compiled_netlist> insert(
+      const cache_key& key, std::shared_ptr<const compiled_netlist> fresh);
 
   parallel_executor& executor_;
   buffer_insertion_options options_;

@@ -128,6 +128,17 @@ public:
   void submit(mig_network net, wave_batch waves, unsigned phases,
               serving_callback on_complete);
 
+  /// Scenario-parameterized submission: the request compiles through the
+  /// scenario-tagged cache path (batch_session::compile with a scenario), so
+  /// one session serves several technology scenarios of the same netlist
+  /// concurrently — each scenario's requests coalesce among themselves (the
+  /// coalescing key is the compiled program) and never across scenarios.
+  [[nodiscard]] std::future<packed_wave_result> submit(
+      std::shared_ptr<const mig_network> net, wave_batch waves, unsigned phases,
+      tech_scenario scenario);
+  void submit(std::shared_ptr<const mig_network> net, wave_batch waves, unsigned phases,
+              tech_scenario scenario, serving_callback on_complete);
+
   /// Zero-copy packed submission: `plane_words` holds the waves already in
   /// the engine's plane-major layout — ceil(num_waves / 64) contiguous
   /// chunk words per PI, PI i's words at `plane_words[i * chunks ..
@@ -153,6 +164,15 @@ public:
                      unsigned phases, serving_callback on_complete);
   void submit_packed(mig_network net, std::vector<std::uint64_t> plane_words,
                      std::size_t num_waves, unsigned phases, serving_callback on_complete);
+
+  /// Scenario variants of the zero-copy packed submission (see the
+  /// scenario `submit` overloads for the caching/coalescing contract).
+  [[nodiscard]] std::future<packed_wave_result> submit_packed(
+      std::shared_ptr<const mig_network> net, std::vector<std::uint64_t> plane_words,
+      std::size_t num_waves, unsigned phases, tech_scenario scenario);
+  void submit_packed(std::shared_ptr<const mig_network> net,
+                     std::vector<std::uint64_t> plane_words, std::size_t num_waves,
+                     unsigned phases, tech_scenario scenario, serving_callback on_complete);
 
   /// Blocks until every request accepted so far completed. New submissions
   /// remain allowed (and may keep `drain` from returning if they keep
@@ -196,6 +216,9 @@ private:
     std::size_t packed_waves{0};
     bool packed{false};
     unsigned phases{0};
+    /// Scenario of the request; null = untagged (the scenario-less path).
+    /// Shared so fused members and the memo never copy the scenario.
+    std::shared_ptr<const tech_scenario> scenario;
     serving_callback done;
     std::chrono::steady_clock::time_point enqueued{};
   };

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "wavemig/mig.hpp"
+
+namespace wavemig {
+
+struct loss_budget_options {
+  /// Logic levels (majority and fan-out gates) a wave may traverse without
+  /// regeneration — tech_scenario::max_unregenerated_levels(). nullopt
+  /// disables the pass (lossless technology); 0 is invalid (no circuit
+  /// could exist).
+  std::optional<unsigned> max_unregenerated_levels{};
+};
+
+struct loss_budget_result {
+  mig_network net;
+  /// Repeater buffers inserted. Repeaters are plain buffer components
+  /// (identity function); metrics cost them via tech_scenario::repeater.
+  std::size_t repeaters_added{0};
+  /// Longest unregenerated run before / after the pass. `after` is at most
+  /// the budget whenever the pass ran.
+  std::uint32_t max_run_before{0};
+  std::uint32_t max_run_after{0};
+  std::uint32_t depth_before{0};
+  std::uint32_t depth_after{0};
+};
+
+/// Enforces a scenario's attenuation budget: walks the netlist in
+/// topological order tracking each signal's **unregenerated run** — the
+/// consecutive majority/fan-out levels traversed since the last
+/// regeneration point (a primary input transducer or a buffer, both of
+/// which launch a fresh wave, run 0) — and inserts a repeater buffer on any
+/// majority/FOG fan-in edge whose contribution would push the consumer past
+/// the budget. After the pass every node's run is at most the budget.
+///
+/// Repeaters are inserted per edge, never shared, so the pass preserves
+/// every driver's fan-out degree — it composes with `restrict_fanout`
+/// (run restriction first) without re-violating the limit. Insertion only
+/// targets majority/FOG fan-in edges — a buffer's input tolerates any run
+/// within budget and its output is fresh — which makes the pass
+/// **idempotent**: re-running it on its own output inserts nothing.
+///
+/// Run it *before* path balancing: repeaters deepen the paths they are on,
+/// and `insert_buffers` afterwards restores wave coherence (balance buffers
+/// are themselves regeneration points, so balancing never re-violates the
+/// budget).
+///
+/// Throws std::invalid_argument when the budget is 0. A nullopt budget
+/// copies the network through (reporting `max_run_before` only).
+loss_budget_result enforce_loss_budget(const mig_network& net,
+                                       const loss_budget_options& options = {});
+
+}  // namespace wavemig

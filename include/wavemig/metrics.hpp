@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "wavemig/mig.hpp"
+#include "wavemig/tech_scenario.hpp"
 #include "wavemig/technology.hpp"
 
 namespace wavemig {
@@ -57,6 +58,34 @@ struct circuit_metrics {
 /// model; `phases` is the wave-clock phase count (3 in the paper).
 circuit_metrics compute_metrics(const mig_network& net, const technology& tech,
                                 bool wave_pipelined, unsigned phases = 3);
+
+/// Scenario-aware evaluation: the base Table II model plus the scenario's
+/// active components. Repeaters inserted by the loss-budget pass are plain
+/// buffers in the netlist (compute_metrics costs them as `buf`); the deltas
+/// below re-cost those `repeaters` at the scenario's repeater premium.
+/// Repeater *delay* needs no delta — each repeater occupies one level and
+/// the depth-based latency already covers it. FDM lanes multiply the
+/// wave-pipelined throughput and the waves in flight (several logical waves
+/// share one physical conduit slot); computed outputs are lane-independent.
+struct scenario_metrics {
+  /// Adjusted metrics: area/energy include the repeater premium, throughput
+  /// and waves_in_flight include the FDM lane multiplier, power recomputed.
+  circuit_metrics metrics;
+  std::size_t repeaters{0};
+  unsigned fdm_lanes{1};
+  /// cell_area x repeaters x (repeater.area - buf.area); already folded
+  /// into metrics.area_um2.
+  double repeater_area_delta_um2{0.0};
+  /// cell_energy x repeaters x (repeater.energy - buf.energy); already
+  /// folded into metrics.energy_per_op_fj (and the recomputed powers).
+  double repeater_energy_delta_fj{0.0};
+};
+
+/// Computes scenario metrics for a netlist. `repeaters` is the number of
+/// loss-budget repeaters in the net (pipeline_result::repeater_buffers_added).
+scenario_metrics compute_scenario_metrics(const mig_network& net, const tech_scenario& scenario,
+                                          bool wave_pipelined, std::size_t repeaters = 0,
+                                          unsigned phases = 3);
 
 /// Original-vs-wave-pipelined comparison (one row of Table II).
 struct pipeline_comparison {

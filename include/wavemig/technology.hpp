@@ -1,8 +1,18 @@
 #pragma once
 
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace wavemig {
+
+/// Thrown by the technology / scenario registries (`technology::by_name`,
+/// `tech_scenario::by_name`) for a name they do not know. The message lists
+/// the known names.
+class unknown_technology_error : public std::invalid_argument {
+public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Relative cost of one component type in units of the technology cell
 /// (the "Relative values" columns of the paper's Table I).
@@ -49,6 +59,13 @@ struct technology {
   static technology qca();
   /// NanoMagnetic Logic — constants from Table I ([11], [24]).
   static technology nml();
+
+  /// Registry lookup by name (case-insensitive: "swd" == "SWD"), replacing
+  /// the ad-hoc string matching tests and benches used to carry. Throws
+  /// unknown_technology_error for anything not in `names()`.
+  static technology by_name(const std::string& name);
+  /// The registered technology names, in Table I order.
+  static const std::vector<std::string>& names();
 };
 
 }  // namespace wavemig

@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "wavemig/mig.hpp"
+#include "wavemig/tech_scenario.hpp"
 #include "wavemig/technology.hpp"
 
 namespace wavemig {
@@ -40,6 +41,14 @@ struct timing_report {
 /// optimize_inverters() is used (the best case); otherwise every complemented
 /// edge counts as a physical inverter.
 timing_report analyze_stage_timing(const mig_network& net, const technology& tech,
+                                   unsigned phases = 3, bool optimize_polarity = true);
+
+/// Scenario convenience: analyzes against `scenario.tech`, then scales the
+/// effective wave-pipelined throughput by the FDM lane count — with
+/// frequency-division multiplexing every physical phase carries
+/// `scenario.fdm_lanes` logical waves, so logical throughput is the physical
+/// rate times the lane count. Stage delays are lane-independent.
+timing_report analyze_stage_timing(const mig_network& net, const tech_scenario& scenario,
                                    unsigned phases = 3, bool optimize_polarity = true);
 
 }  // namespace wavemig

@@ -11,11 +11,13 @@ pipeline_result wave_pipeline(const mig_network& net, const pipeline_options& op
   result.original_stats = compute_stats(net);
   result.depth_before = result.original_stats.depth;
 
+  const std::optional<unsigned> limit = options.fanout_limit.resolve(options.scenario);
+
   mig_network current = net;  // copy; passes below rebuild anyway
 
-  if (options.fanout_limit) {
+  if (limit) {
     fanout_restriction_options fo;
-    fo.limit = *options.fanout_limit;
+    fo.limit = *limit;
     fo.fill_residual = options.fill_residual;
     auto restricted = restrict_fanout(current, fo);
     result.fogs_added = restricted.fogs_added;
@@ -24,13 +26,27 @@ pipeline_result wave_pipeline(const mig_network& net, const pipeline_options& op
     current = std::move(restricted.net);
   }
 
+  // Loss budget after restriction (repeaters are per-edge, so the limit is
+  // preserved) and before balancing (balance buffers regenerate, so
+  // balancing never re-violates the budget).
+  const std::optional<unsigned> budget =
+      options.enforce_loss ? options.scenario.max_unregenerated_levels() : std::nullopt;
+  if (budget) {
+    loss_budget_options lb;
+    lb.max_unregenerated_levels = budget;
+    auto regenerated = enforce_loss_budget(current, lb);
+    result.repeater_buffers_added = regenerated.repeaters_added;
+    result.max_attenuation_run = regenerated.max_run_before;
+    current = std::move(regenerated.net);
+  }
+
   if (options.insert_buffers) {
     buffer_insertion_options bi;
     bi.strategy = options.strategy;
     bi.schedule = options.schedule;
-    if (options.fanout_limit && options.respect_limit_in_buffers) {
+    if (limit && options.respect_limit_in_buffers) {
       bi.strategy = buffer_strategy::tree;
-      bi.fanout_limit = options.fanout_limit;
+      bi.fanout_limit = limit;
     }
     auto balanced = insert_buffers(current, bi);
     result.balance_buffers_added = balanced.buffers_added;

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "block_splice.hpp"
+#include "wavemig/pipeline.hpp"
 
 namespace wavemig::engine {
 
@@ -502,6 +503,7 @@ std::size_t batch_session::cache_key_hash::operator()(const cache_key& k) const 
   std::uint64_t h = k.fingerprint;
   h ^= (static_cast<std::uint64_t>(k.strategy) + 1) * 0x9e3779b97f4a7c15ull;
   h ^= (static_cast<std::uint64_t>(k.phases) + 1) * 0xbf58476d1ce4e5b9ull;
+  h ^= (k.scenario + 1) * 0x94d049bb133111ebull;
   return static_cast<std::size_t>(h ^ (h >> 32));
 }
 
@@ -526,26 +528,18 @@ std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network
   return compile(net, phases, network_fingerprint(net));
 }
 
-std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
-                                                               unsigned phases,
-                                                               std::uint64_t fingerprint) {
-  const cache_key key{fingerprint, options_.strategy, phases};
-
-  {
-    std::lock_guard<std::mutex> lock{mutex_};
-    if (const auto it = cache_.find(key); it != cache_.end()) {
-      ++hits_;
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      return it->second.program;
-    }
+std::shared_ptr<const compiled_netlist> batch_session::lookup(const cache_key& key) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.program;
   }
+  return nullptr;
+}
 
-  // Balance + lower + optimize outside the lock; a concurrent miss on the
-  // same key compiles the identical program and the first insert wins.
-  const auto balanced = insert_buffers(net, options_);
-  auto fresh = std::make_shared<const compiled_netlist>(balanced.net, balanced.schedule,
-                                                        compile_options_);
-
+std::shared_ptr<const compiled_netlist> batch_session::insert(
+    const cache_key& key, std::shared_ptr<const compiled_netlist> fresh) {
   std::lock_guard<std::mutex> lock{mutex_};
   ++misses_;
   const auto [it, inserted] = cache_.try_emplace(key);
@@ -565,9 +559,61 @@ std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network
   return program;
 }
 
+std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
+                                                               unsigned phases,
+                                                               std::uint64_t fingerprint) {
+  const cache_key key{fingerprint, options_.strategy, phases};
+  if (auto program = lookup(key)) {
+    return program;
+  }
+
+  // Balance + lower + optimize outside the lock; a concurrent miss on the
+  // same key compiles the identical program and the first insert wins.
+  const auto balanced = insert_buffers(net, options_);
+  return insert(key, std::make_shared<const compiled_netlist>(balanced.net, balanced.schedule,
+                                                              compile_options_));
+}
+
+std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
+                                                               unsigned phases,
+                                                               const tech_scenario& scenario) {
+  return compile(net, phases, network_fingerprint(net), scenario);
+}
+
+std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
+                                                               unsigned phases,
+                                                               std::uint64_t fingerprint,
+                                                               const tech_scenario& scenario) {
+  const cache_key key{fingerprint, options_.strategy, phases, scenario.fingerprint()};
+  if (auto program = lookup(key)) {
+    return program;
+  }
+
+  // Scenario preparation runs the full pipeline — fan-out restriction at
+  // the scenario's capability, loss-budget repeaters, then balancing with
+  // this session's strategy/schedule — and the lowered program carries the
+  // scenario tag and FDM lane count in its compile options.
+  pipeline_options prep;
+  prep.scenario = scenario;
+  prep.strategy = options_.strategy;
+  prep.schedule = options_.schedule;
+  auto prepared = wave_pipeline(net, prep);
+
+  compile_options tagged = compile_options_;
+  tagged.scenario_fingerprint = key.scenario;
+  tagged.fdm_lanes = scenario.fdm_lanes;
+  return insert(key, std::make_shared<const compiled_netlist>(prepared.net, tagged));
+}
+
 packed_wave_result batch_session::run(const mig_network& net, const wave_batch& waves,
                                       unsigned phases) {
   const auto compiled = compile(net, phases);
+  return run_waves_parallel(*compiled, waves, phases, executor_);
+}
+
+packed_wave_result batch_session::run(const mig_network& net, const wave_batch& waves,
+                                      unsigned phases, const tech_scenario& scenario) {
+  const auto compiled = compile(net, phases, scenario);
   return run_waves_parallel(*compiled, waves, phases, executor_);
 }
 

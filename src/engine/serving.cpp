@@ -78,6 +78,34 @@ std::future<packed_wave_result> serving_session::submit(mig_network net, wave_ba
                 phases);
 }
 
+void serving_session::submit(std::shared_ptr<const mig_network> net, wave_batch waves,
+                             unsigned phases, tech_scenario scenario,
+                             serving_callback on_complete) {
+  request req;
+  req.net = std::move(net);
+  req.waves = std::move(waves);
+  req.phases = phases;
+  req.scenario = std::make_shared<const tech_scenario>(std::move(scenario));
+  req.done = std::move(on_complete);
+  enqueue(std::move(req));
+}
+
+std::future<packed_wave_result> serving_session::submit(
+    std::shared_ptr<const mig_network> net, wave_batch waves, unsigned phases,
+    tech_scenario scenario) {
+  auto promise = std::make_shared<std::promise<packed_wave_result>>();
+  auto future = promise->get_future();
+  submit(std::move(net), std::move(waves), phases, std::move(scenario),
+         [promise](packed_wave_result result, std::exception_ptr error) {
+           if (error) {
+             promise->set_exception(error);
+           } else {
+             promise->set_value(std::move(result));
+           }
+         });
+  return future;
+}
+
 void serving_session::submit_packed(std::shared_ptr<const mig_network> net,
                                     std::vector<std::uint64_t> plane_words,
                                     std::size_t num_waves, unsigned phases,
@@ -120,6 +148,38 @@ std::future<packed_wave_result> serving_session::submit_packed(
     unsigned phases) {
   return submit_packed(std::make_shared<const mig_network>(std::move(net)),
                        std::move(plane_words), num_waves, phases);
+}
+
+void serving_session::submit_packed(std::shared_ptr<const mig_network> net,
+                                    std::vector<std::uint64_t> plane_words,
+                                    std::size_t num_waves, unsigned phases,
+                                    tech_scenario scenario, serving_callback on_complete) {
+  request req;
+  req.net = std::move(net);
+  req.plane_words = std::move(plane_words);
+  req.packed_waves = num_waves;
+  req.packed = true;
+  req.phases = phases;
+  req.scenario = std::make_shared<const tech_scenario>(std::move(scenario));
+  req.done = std::move(on_complete);
+  enqueue(std::move(req));
+}
+
+std::future<packed_wave_result> serving_session::submit_packed(
+    std::shared_ptr<const mig_network> net, std::vector<std::uint64_t> plane_words,
+    std::size_t num_waves, unsigned phases, tech_scenario scenario) {
+  auto promise = std::make_shared<std::promise<packed_wave_result>>();
+  auto future = promise->get_future();
+  submit_packed(std::move(net), std::move(plane_words), num_waves, phases,
+                std::move(scenario),
+                [promise](packed_wave_result result, std::exception_ptr error) {
+                  if (error) {
+                    promise->set_exception(error);
+                  } else {
+                    promise->set_value(std::move(result));
+                  }
+                });
+  return future;
 }
 
 // ----------------------------------------------------------- dispatch ---
@@ -213,7 +273,13 @@ void serving_session::process_gulp(std::vector<request> gulp) {
         req.waves = wave_batch::from_plane_words(std::move(req.plane_words),
                                                  req.net->num_pis(), req.packed_waves);
       }
-      auto program = session_.compile(*req.net, req.phases, fingerprint_of(req.net));
+      // Scenario-tagged requests compile through the scenario cache path;
+      // the distinct program pointer then keeps them from coalescing with
+      // untagged (or differently-tagged) requests against the same network.
+      auto program =
+          req.scenario
+              ? session_.compile(*req.net, req.phases, fingerprint_of(req.net), *req.scenario)
+              : session_.compile(*req.net, req.phases, fingerprint_of(req.net));
       validate_packed_run(*program, req.waves.num_pis(), req.phases, "serving_session");
       const std::size_t chunks = req.waves.num_chunks();
       ready.push_back({std::move(req), std::move(program), chunks});

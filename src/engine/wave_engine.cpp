@@ -19,15 +19,20 @@ template <typename Result>
 void fill_clock_metrics(Result& result, const compiled_netlist& net, unsigned phases,
                         std::size_t num_waves) {
   const std::uint32_t depth = net.depth();
+  // FDM scenarios (compile_options::fdm_lanes > 1) carry several logical
+  // waves per physical conduit slot: wave w occupies slot w / lanes, and
+  // every physical wave in flight holds `lanes` logical ones. Metadata only
+  // — computed words are lane-independent.
+  const unsigned lanes = std::max(1u, net.options().fdm_lanes);
   result.initiation_interval = phases;
   result.latency_ticks = depth > 0 ? depth : 1;
-  result.waves_in_flight = std::max<std::uint32_t>(1, (depth + phases - 1) / phases);
+  result.waves_in_flight = std::max<std::uint32_t>(1, (depth + phases - 1) / phases) * lanes;
   if (num_waves == 0) {
     result.ticks = 0;
     return;
   }
   std::uint64_t last_tick = 0;
-  const std::uint64_t last_wave = num_waves - 1;
+  const std::uint64_t last_wave = (num_waves - 1) / lanes;
   for (std::size_t p = 0; p < net.num_pos(); ++p) {
     if (net.po_constant()[p]) {
       continue;
@@ -316,7 +321,20 @@ wave_run_result run_waves(const compiled_netlist& net,
   if (waves.empty()) {
     return result;
   }
-  const std::uint64_t last_tick = result.ticks - 1;
+  // The tick simulator models a single physical lane: every wave occupies
+  // its own initiation slot regardless of the program's FDM tag, so the
+  // simulated tick span is computed lane-agnostically. result.ticks carries
+  // the (possibly FDM-compressed) clock metadata and must not bound the
+  // simulation loop — that would drop waves past the first physical slot.
+  std::uint64_t last_tick = 0;
+  const std::uint64_t final_wave = waves.size() - 1;
+  for (std::uint32_t p = 0; p < net.num_pos(); ++p) {
+    if (net.po_constant()[p]) {
+      continue;
+    }
+    const std::uint32_t lvl = net.po_levels()[p];
+    last_tick = std::max(last_tick, final_wave * phases + (lvl > 0 ? lvl - 1 : 0));
+  }
 
   // Per-clock-phase firing lists, resolved once instead of per tick. Ops in
   // a list are ordered by decreasing level so the in-place update below

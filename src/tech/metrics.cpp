@@ -59,6 +59,32 @@ circuit_metrics compute_metrics(const mig_network& net, const technology& tech,
   return m;
 }
 
+scenario_metrics compute_scenario_metrics(const mig_network& net, const tech_scenario& scenario,
+                                          bool wave_pipelined, std::size_t repeaters,
+                                          unsigned phases) {
+  scenario_metrics sm;
+  sm.repeaters = repeaters;
+  sm.fdm_lanes = scenario.fdm_lanes;
+  sm.metrics = compute_metrics(net, scenario.tech, wave_pipelined, phases);
+
+  const auto reps = static_cast<double>(repeaters);
+  sm.repeater_area_delta_um2 =
+      scenario.tech.cell_area_um2 * reps * (scenario.repeater.area - scenario.tech.buf.area);
+  sm.repeater_energy_delta_fj = scenario.tech.cell_energy_fj * reps *
+                                (scenario.repeater.energy - scenario.tech.buf.energy);
+
+  circuit_metrics& m = sm.metrics;
+  m.area_um2 += sm.repeater_area_delta_um2;
+  m.energy_per_op_fj += sm.repeater_energy_delta_fj;
+  if (wave_pipelined && scenario.fdm_lanes > 1) {
+    m.throughput_mops *= static_cast<double>(scenario.fdm_lanes);
+    m.waves_in_flight *= scenario.fdm_lanes;
+  }
+  m.power_uw = m.energy_per_op_fj / m.latency_ns;
+  m.power_steady_state_uw = m.energy_per_op_fj * m.throughput_mops * 1e-3;
+  return sm;
+}
+
 pipeline_comparison compare_metrics(const mig_network& original, const mig_network& pipelined,
                                     const technology& tech, unsigned phases) {
   pipeline_comparison c;

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace wavemig::registry {
+
+/// Case-insensitive name comparison shared by the technology and scenario
+/// registries ("fdm-swd" resolves like "FDM-SWD").
+inline bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline std::string unknown_name_message(const char* who, const std::string& name,
+                                        const std::vector<std::string>& names) {
+  std::string msg = std::string{who} + ": unknown name '" + name + "' (known:";
+  for (const auto& n : names) {
+    msg += ' ';
+    msg += n;
+  }
+  msg += ')';
+  return msg;
+}
+
+}  // namespace wavemig::registry

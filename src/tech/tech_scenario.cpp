@@ -1,0 +1,122 @@
+#include "wavemig/tech_scenario.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "registry_util.hpp"
+
+namespace wavemig {
+
+std::optional<unsigned> tech_scenario::max_unregenerated_levels() const {
+  if (attenuation_db_per_level <= 0.0) {
+    return std::nullopt;
+  }
+  const double levels = std::floor(regeneration_db / attenuation_db_per_level);
+  if (levels < 1.0) {
+    return 1u;
+  }
+  return static_cast<unsigned>(levels);
+}
+
+std::uint64_t tech_scenario::fingerprint() const {
+  constexpr std::uint64_t offset = 1469598103934665603ull;
+  constexpr std::uint64_t prime = 1099511628211ull;
+  std::uint64_t h = offset;
+  const auto mix = [&](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h = (h ^ ((v >> (8 * byte)) & 0xffu)) * prime;
+    }
+  };
+  const auto mix_double = [&](double v) { mix(std::bit_cast<std::uint64_t>(v)); };
+  const auto mix_costs = [&](const component_costs& c) {
+    mix_double(c.area);
+    mix_double(c.delay);
+    mix_double(c.energy);
+  };
+  for (const char ch : name) {
+    h = (h ^ static_cast<unsigned char>(ch)) * prime;
+  }
+  mix_double(tech.cell_area_um2);
+  mix_double(tech.cell_delay_ns);
+  mix_double(tech.cell_energy_fj);
+  mix_costs(tech.inv);
+  mix_costs(tech.maj);
+  mix_costs(tech.buf);
+  mix_costs(tech.fog);
+  mix_double(tech.phase_delay_ns);
+  mix_double(tech.sense_amp_energy_fj);
+  mix(fanout_limit ? *fanout_limit + 1 : 0);
+  mix(fdm_lanes);
+  mix_double(attenuation_db_per_level);
+  mix_double(regeneration_db);
+  mix_costs(repeater);
+  return h == 0 ? 1 : h;  // zero is reserved for "no scenario"
+}
+
+tech_scenario tech_scenario::swd() {
+  tech_scenario s;
+  s.name = "SWD";
+  s.tech = technology::swd();
+  s.fanout_limit = 3;
+  s.repeater = {2.0, 1.0, 3.0};  // buffer cell + active re-amplification stage
+  return s;
+}
+
+tech_scenario tech_scenario::qca() {
+  tech_scenario s;
+  s.name = "QCA";
+  s.tech = technology::qca();
+  s.fanout_limit = 4;
+  s.repeater = {1.0, 1.0, 2.0};
+  return s;
+}
+
+tech_scenario tech_scenario::nml() {
+  tech_scenario s;
+  s.name = "NML";
+  s.tech = technology::nml();
+  s.fanout_limit = 2;
+  s.repeater = {2.0, 2.0, 4.0};
+  return s;
+}
+
+tech_scenario tech_scenario::fdm_swd() {
+  tech_scenario s;
+  s.name = "FDM-SWD";
+  s.tech = technology::swd();
+  // The FDM gate of arXiv:1908.02546 multiplexes frequencies through one
+  // conduit; its demonstrated gates fan out to 2 (arXiv:2109.05219), and the
+  // longer multiplexed conduits make attenuation a first-class budget: at
+  // 0.25 dB per level against a 2.5 dB regeneration window, a wave needs a
+  // repeater after 10 consecutive unregenerated levels.
+  s.fanout_limit = 2;
+  s.fdm_lanes = 4;
+  s.attenuation_db_per_level = 0.25;
+  s.regeneration_db = 2.5;
+  s.repeater = {2.0, 1.0, 3.0};
+  return s;
+}
+
+tech_scenario tech_scenario::by_name(const std::string& name) {
+  if (registry::iequals(name, "SWD")) {
+    return swd();
+  }
+  if (registry::iequals(name, "QCA")) {
+    return qca();
+  }
+  if (registry::iequals(name, "NML")) {
+    return nml();
+  }
+  if (registry::iequals(name, "FDM-SWD")) {
+    return fdm_swd();
+  }
+  throw unknown_technology_error{
+      registry::unknown_name_message("tech_scenario::by_name", name, names())};
+}
+
+const std::vector<std::string>& tech_scenario::names() {
+  static const std::vector<std::string> known{"SWD", "QCA", "NML", "FDM-SWD"};
+  return known;
+}
+
+}  // namespace wavemig

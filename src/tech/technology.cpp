@@ -1,5 +1,7 @@
 #include "wavemig/technology.hpp"
 
+#include "registry_util.hpp"
+
 namespace wavemig {
 
 technology technology::swd() {
@@ -52,6 +54,25 @@ technology technology::nml() {
   // 1/(3 x 20 ns)).
   t.phase_delay_ns = 20.0;
   return t;
+}
+
+technology technology::by_name(const std::string& name) {
+  if (registry::iequals(name, "SWD")) {
+    return swd();
+  }
+  if (registry::iequals(name, "QCA")) {
+    return qca();
+  }
+  if (registry::iequals(name, "NML")) {
+    return nml();
+  }
+  throw unknown_technology_error{
+      registry::unknown_name_message("technology::by_name", name, names())};
+}
+
+const std::vector<std::string>& technology::names() {
+  static const std::vector<std::string> known{"SWD", "QCA", "NML"};
+  return known;
 }
 
 }  // namespace wavemig

@@ -61,4 +61,13 @@ timing_report analyze_stage_timing(const mig_network& net, const technology& tec
   return report;
 }
 
+timing_report analyze_stage_timing(const mig_network& net, const tech_scenario& scenario,
+                                   unsigned phases, bool optimize_polarity) {
+  timing_report report = analyze_stage_timing(net, scenario.tech, phases, optimize_polarity);
+  if (scenario.fdm_lanes > 1) {
+    report.effective_wp_throughput_mops *= static_cast<double>(scenario.fdm_lanes);
+  }
+  return report;
+}
+
 }  // namespace wavemig

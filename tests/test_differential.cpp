@@ -31,7 +31,9 @@
 #include "wavemig/gen/random_mig.hpp"
 #include "wavemig/io/blif.hpp"
 #include "wavemig/io/mig_format.hpp"
+#include "wavemig/pipeline.hpp"
 #include "wavemig/simulation.hpp"
+#include "wavemig/tech_scenario.hpp"
 #include "wavemig/wave_simulator.hpp"
 
 namespace wavemig {
@@ -345,6 +347,55 @@ TEST(differential, submit_packed_agrees_with_scalar_run_waves) {
   const auto net = gen::random_mig({8, 60, 0.5, 6, 99});
   auto bad = serving.submit_packed(net, std::vector<std::uint64_t>(3, 0), 100, 3);
   EXPECT_THROW((void)bad.get(), std::invalid_argument);
+}
+
+// ------------------------------------------------ scenario differential ---
+
+/// PR-7 referee: every built-in technology scenario's program — prepared by
+/// the scenario pipeline (fan-out restriction at the scenario's capability,
+/// loss-budget repeaters, balancing) — pinned bit-identical across the
+/// cycle-accurate scalar simulator, the packed engine, the scenario-tagged
+/// session cache (parallel path), and the scenario serving API. Clock
+/// metadata is compared through the packed/parallel/serving paths only: the
+/// FDM scenario compresses it, and all tagged paths must agree on the
+/// compressed values.
+TEST(differential, every_builtin_scenario_agrees_across_all_engine_paths) {
+  engine::parallel_executor executor{4};
+  engine::serving_session serving{executor, {}, {}, 0, {.opt_level = 2}};
+  engine::batch_session session{executor};
+
+  for (const auto& name : tech_scenario::names()) {
+    const auto scenario = tech_scenario::by_name(name);
+    for (const std::size_t num_waves : {1ull, 65ull, 257ull}) {
+      const auto net = gen::random_mig({11, 140, 0.5, 8, 2200 + num_waves});
+      const auto shared = std::make_shared<const mig_network>(net);
+      const auto waves = random_waves(num_waves, net.num_pis(), num_waves * 31 + 5);
+      const auto batch = engine::wave_batch::from_waves(waves, net.num_pis());
+      const std::string what = name + ", " + std::to_string(num_waves) + " waves";
+
+      pipeline_options opts;
+      opts.scenario = scenario;
+      const auto prepared = wave_pipeline(net, opts);
+      ASSERT_TRUE(prepared.wave_ready) << what;
+      const engine::compiled_netlist reference{prepared.net};
+
+      // Path 1 — cycle-accurate scalar simulation of the prepared program.
+      const auto scalar = engine::run_waves(reference, waves, 3);
+      // Path 2 — packed multi-word kernel on the same program.
+      const auto packed = engine::run_waves_packed(reference, batch, 3);
+      // Path 3 — sharded parallel run through the scenario-tagged cache.
+      const auto parallel = session.run(net, batch, 3, scenario);
+      // Path 4 — async serving with the scenario submit overload.
+      const auto async = serving.submit(shared, batch, 3, scenario).get();
+
+      ASSERT_EQ(packed.unpack(), scalar.outputs) << what << ": packed vs scalar";
+      EXPECT_EQ(parallel.words, packed.words) << what << ": parallel vs packed";
+      EXPECT_EQ(async.words, packed.words) << what << ": serving vs packed";
+      EXPECT_EQ(async.num_waves, packed.num_waves) << what;
+      EXPECT_EQ(parallel.waves_in_flight, async.waves_in_flight) << what;
+      EXPECT_EQ(parallel.ticks, async.ticks) << what;
+    }
+  }
 }
 
 // ------------------------------------------------------- BLIF fuzzing ---

@@ -24,6 +24,7 @@
 #include "wavemig/engine/wave_engine.hpp"
 #include "wavemig/gen/arith.hpp"
 #include "wavemig/gen/random_mig.hpp"
+#include "wavemig/tech_scenario.hpp"
 
 namespace wavemig {
 namespace {
@@ -570,6 +571,64 @@ TEST(serving_coalescing, streams_and_serving_share_the_stealing_pool) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(serving.metrics().requests_failed, 0u);
   EXPECT_EQ(serving.metrics().requests_completed, 24u);
+}
+
+// -------------------------------------------------- scenario separation ---
+
+/// One session serving the same netlist untagged and under two scenarios:
+/// every request computes the same function (bit-identical words), but each
+/// scenario occupies its own cache entry — the cache key carries the
+/// scenario fingerprint, so requests never hit (or coalesce into) another
+/// scenario's program. One dispatcher keeps the hit/miss accounting
+/// deterministic.
+TEST(serving_scenarios, same_netlist_per_scenario_programs_stay_separate) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor, {}, {}, 1};
+
+  const auto net = std::make_shared<const mig_network>(gen::ripple_adder_circuit(6));
+  const auto batch = batch_for(*net, 100, 17);
+  const auto reference = packed_reference(*net, batch, 3);
+
+  std::vector<std::future<engine::packed_wave_result>> futures;
+  for (int round = 0; round < 3; ++round) {
+    futures.push_back(serving.submit(net, batch, 3));
+    futures.push_back(serving.submit(net, batch, 3, tech_scenario::swd()));
+    futures.push_back(serving.submit(net, batch, 3, tech_scenario::fdm_swd()));
+  }
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().words, reference.words);
+  }
+
+  // One program per scenario tag (plus the untagged one), not per request.
+  const auto stats = serving.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 6u);
+}
+
+/// Zero-copy packed submission with a scenario: plane-major words adopted
+/// wholesale, evaluated on the scenario-prepared program, sliced back
+/// bit-identical to the untagged packed reference.
+TEST(serving_scenarios, packed_scenario_submission_matches_the_reference) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor};
+
+  const auto net = std::make_shared<const mig_network>(gen::random_mig({10, 90, 0.5, 7, 4141}));
+  const auto batch = batch_for(*net, 130, 23);
+  const auto reference = packed_reference(*net, batch, 3);
+
+  std::vector<std::uint64_t> planes(batch.num_chunks() * net->num_pis());
+  for (std::size_t i = 0; i < net->num_pis(); ++i) {
+    std::copy_n(batch.plane(i), batch.num_chunks(),
+                planes.begin() + static_cast<std::ptrdiff_t>(i * batch.num_chunks()));
+  }
+
+  const auto got =
+      serving.submit_packed(net, std::move(planes), batch.num_waves(), 3,
+                            tech_scenario::nml())
+          .get();
+  EXPECT_EQ(got.words, reference.words);
+  EXPECT_EQ(got.num_waves, reference.num_waves);
 }
 
 }  // namespace
