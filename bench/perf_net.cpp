@@ -1,0 +1,295 @@
+// Network serving load generator: multi-client loopback traffic against the
+// wire front-end (net/server.hpp), measuring end-to-end request latency and
+// dispatcher queue-wait percentiles under a production-shaped mix — two
+// circuits (a 64-bit adder and a 4k-gate random MIG) served hot by
+// fingerprint, with periodic cold requests that inline fresh netlists and
+// churn the compile cache.
+//
+// The same mix is then replayed in-process (straight submit_packed futures,
+// no sockets) under the same concurrency, and the wire overhead is gated:
+// wire e2e p99 must stay within 3x of the in-process e2e p99 — the wire
+// protocol's zero-copy framing means a request costs syscalls, not copies,
+// so queueing and evaluation dominate both paths identically under load.
+//
+// `--json` emits machine-readable records (BENCH_pr8.json is this bench's
+// output); the wire_e2e_gate_ok record is what CI greps.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "wavemig/engine/parallel_executor.hpp"
+#include "wavemig/engine/serving.hpp"
+#include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/random_mig.hpp"
+#include "wavemig/io/mig_format.hpp"
+#include "wavemig/net/client.hpp"
+#include "wavemig/net/server.hpp"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+// Sized so each request is compute-dominated (2048 waves = 32 chunks of
+// kernel work): the e2e tail then measures serving, not scheduler jitter on
+// a 50-microsecond syscall round trip.
+constexpr unsigned num_clients = 2;
+constexpr std::size_t requests_per_client = 96;
+constexpr std::size_t waves_per_request = 2048;
+constexpr unsigned phases = 3;
+constexpr std::size_t cold_every = 12;  // every 12th request inlines a fresh netlist
+
+double elapsed_ms(clock_type::time_point since) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - since).count();
+}
+
+std::vector<std::uint64_t> random_planes(std::size_t num_pis, std::size_t num_waves,
+                                         std::uint64_t seed) {
+  const std::size_t chunks = (num_waves + 63) / 64;
+  std::mt19937_64 rng{seed};
+  std::vector<std::uint64_t> words(num_pis * chunks);
+  for (auto& word : words) {
+    word = rng();
+  }
+  if (const std::size_t tail = num_waves % 64; tail != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+    for (std::size_t p = 0; p < num_pis; ++p) {
+      words[(p + 1) * chunks - 1] &= mask;
+    }
+  }
+  return words;
+}
+
+wavemig::mig_network cold_circuit(std::uint64_t seed) {
+  return wavemig::gen::random_mig({24, 240, 0.5, 12, 9000 + seed});
+}
+
+struct workload {
+  std::shared_ptr<const wavemig::mig_network> adder;
+  std::shared_ptr<const wavemig::mig_network> mig4k;
+};
+
+/// One client's mix: request i runs the adder (even) or the big MIG (odd),
+/// except every `cold_every`-th request, which inlines a fresh random
+/// netlist — a compile miss and a registration, the cache-churn half of the
+/// workload.
+bool is_cold(std::size_t i) { return i % cold_every == cold_every - 1; }
+
+/// Drives one wire client: pipelines up to `window` requests, records each
+/// request's end-to-end milliseconds (send to matching response).
+void run_wire_client(std::uint16_t port, const workload& load, unsigned client_index,
+                     std::vector<double>& e2e_ms, std::atomic<bool>& ok) {
+  try {
+    auto client = wavemig::net::wire_client::connect(port);
+    const std::uint64_t adder_fp = client.register_program(*load.adder);
+    const std::uint64_t mig_fp = client.register_program(*load.mig4k);
+
+    for (std::size_t i = 0; i < requests_per_client; ++i) {
+      wavemig::net::run_request req;
+      req.phases = phases;
+      req.num_waves = waves_per_request;
+      const auto seed =
+          static_cast<std::uint64_t>(client_index) * 1000 + static_cast<std::uint64_t>(i);
+      if (is_cold(i)) {
+        const auto cold = cold_circuit(seed);
+        std::ostringstream text;
+        wavemig::io::write_mig(cold, text);
+        req.netlist = text.str();
+        req.num_pis = static_cast<std::uint32_t>(cold.num_pis());
+        req.payload = random_planes(cold.num_pis(), waves_per_request, seed);
+      } else {
+        const auto& net = (i % 2 == 0) ? load.adder : load.mig4k;
+        req.fingerprint = (i % 2 == 0) ? adder_fp : mig_fp;
+        req.num_pis = static_cast<std::uint32_t>(net->num_pis());
+        req.payload = random_planes(net->num_pis(), waves_per_request, seed);
+      }
+      const auto start = clock_type::now();
+      const auto resp = client.run(std::move(req));
+      e2e_ms.push_back(elapsed_ms(start));
+      if (resp.status != wavemig::net::wire_status::ok) {
+        std::fprintf(stderr, "client %u request %zu refused: %s\n", client_index, i,
+                     resp.message.c_str());
+        ok.store(false);
+        return;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "client %u failed: %s\n", client_index, e.what());
+    ok.store(false);
+  }
+}
+
+/// The same mix as run_wire_client, without the wire: submit_packed futures
+/// straight into the session. Used as the e2e baseline the gate compares
+/// against.
+void run_inprocess_client(wavemig::engine::serving_session& serving, const workload& load,
+                          unsigned client_index, std::vector<double>& e2e_ms,
+                          std::atomic<bool>& ok) {
+  try {
+    for (std::size_t i = 0; i < requests_per_client; ++i) {
+      const auto seed = static_cast<std::uint64_t>(client_index) * 1000 +
+                        static_cast<std::uint64_t>(i) + 500000;
+      std::shared_ptr<const wavemig::mig_network> net;
+      std::string cold_text;
+      if (is_cold(i)) {
+        // Serve the cold program from `.mig` text like the wire does, so the
+        // baseline's cold samples pay the same parse the server pays — the
+        // gate then measures wire overhead, not text-vs-object ingestion.
+        std::ostringstream text;
+        wavemig::io::write_mig(cold_circuit(seed), text);
+        cold_text = text.str();
+      } else {
+        net = (i % 2 == 0) ? load.adder : load.mig4k;
+      }
+      const auto num_pis =
+          net ? net->num_pis() : cold_circuit(seed).num_pis();
+      auto planes = random_planes(num_pis, waves_per_request, seed);
+      const auto start = clock_type::now();
+      if (!net) {
+        std::istringstream in{cold_text};
+        net = std::make_shared<const wavemig::mig_network>(wavemig::io::read_mig(in));
+      }
+      (void)serving.submit_packed(net, std::move(planes), waves_per_request, phases).get();
+      e2e_ms.push_back(elapsed_ms(start));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "in-process producer %u failed: %s\n", client_index, e.what());
+    ok.store(false);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wavemig;
+  const bool json = bench::json_mode(argc, argv);
+
+  const workload load{
+      std::make_shared<const mig_network>(gen::ripple_adder_circuit(64)),
+      std::make_shared<const mig_network>(gen::random_mig({64, 4000, 0.5, 32, 777})),
+  };
+
+  engine::parallel_executor executor;
+  engine::serving_session serving{executor};
+  net::wire_server server{serving};
+
+  if (!json) {
+    bench::print_title("perf_net: loopback wire serving vs in-process submit_packed");
+    std::printf("clients=%u requests/client=%zu waves/request=%zu phases=%u (cold every %zu)\n",
+                num_clients, requests_per_client, waves_per_request, phases, cold_every);
+  }
+
+  // Warm the compile cache for both hot programs so neither phase pays the
+  // one-time compile of the 4k-gate MIG inside its latency samples (the cold
+  // requests pay their compiles in both phases symmetrically).
+  for (const auto& net : {load.adder, load.mig4k}) {
+    (void)serving.submit_packed(net, random_planes(net->num_pis(), waves_per_request, 1),
+                                waves_per_request, phases)
+        .get();
+  }
+  serving.drain();
+  (void)serving.take_queue_wait_samples();
+
+  // --- wire phase ----------------------------------------------------------
+  std::atomic<bool> ok{true};
+  std::vector<std::vector<double>> wire_lat(num_clients);
+  {
+    std::vector<std::thread> clients;
+    for (unsigned c = 0; c < num_clients; ++c) {
+      clients.emplace_back(
+          [&, c] { run_wire_client(server.port(), load, c, wire_lat[c], ok); });
+    }
+    for (auto& t : clients) {
+      t.join();
+    }
+  }
+  serving.drain();
+  auto queue_wait = serving.take_queue_wait_samples();
+
+  // --- in-process phase ----------------------------------------------------
+  std::vector<std::vector<double>> local_lat(num_clients);
+  {
+    std::vector<std::thread> producers;
+    for (unsigned c = 0; c < num_clients; ++c) {
+      producers.emplace_back(
+          [&, c] { run_inprocess_client(serving, load, c, local_lat[c], ok); });
+    }
+    for (auto& t : producers) {
+      t.join();
+    }
+  }
+  serving.drain();
+
+  if (!ok.load()) {
+    std::fprintf(stderr, "perf_net: load generation failed\n");
+    return 1;
+  }
+
+  std::vector<double> wire_all;
+  std::vector<double> local_all;
+  for (unsigned c = 0; c < num_clients; ++c) {
+    wire_all.insert(wire_all.end(), wire_lat[c].begin(), wire_lat[c].end());
+    local_all.insert(local_all.end(), local_lat[c].begin(), local_lat[c].end());
+  }
+  const double wire_p50 = bench::percentile(wire_all, 50);
+  const double wire_p99 = bench::percentile(wire_all, 99);
+  const double local_p50 = bench::percentile(local_all, 50);
+  const double local_p99 = bench::percentile(local_all, 99);
+  const double queue_p50 = bench::percentile(queue_wait, 50);
+  const double queue_p99 = bench::percentile(queue_wait, 99);
+  const double ratio = local_p99 > 0.0 ? wire_p99 / local_p99 : 0.0;
+  // The wire front-end must not dominate serving cost: its e2e p99 stays
+  // within 3x of the in-process path's under the same load.
+  const bool gate_ok = local_p99 > 0.0 && wire_p99 <= 3.0 * local_p99;
+
+  const auto stats = server.stats();
+  const auto metrics = serving.metrics();
+
+  if (json) {
+    bench::json_record("perf_net", "wire_e2e_p50_ms", wire_p50);
+    bench::json_record("perf_net", "wire_e2e_p99_ms", wire_p99);
+    bench::json_record("perf_net", "inprocess_e2e_p50_ms", local_p50);
+    bench::json_record("perf_net", "inprocess_e2e_p99_ms", local_p99);
+    bench::json_record("perf_net", "queue_wait_p50_ms", queue_p50);
+    bench::json_record("perf_net", "queue_wait_p99_ms", queue_p99);
+    bench::json_record("perf_net", "wire_over_inprocess_p99", ratio);
+    bench::json_record("perf_net", "requests_ok", static_cast<double>(stats.requests_ok));
+    bench::json_record("perf_net", "requests_refused",
+                       static_cast<double>(stats.requests_refused));
+    bench::json_record("perf_net", "programs_registered",
+                       static_cast<double>(stats.programs_registered));
+    bench::json_record("perf_net", "coalesced_requests",
+                       static_cast<double>(metrics.coalesced_requests));
+    bench::json_record("perf_net", "wire_e2e_gate_ok", gate_ok ? 1.0 : 0.0);
+  } else {
+    bench::print_rule();
+    std::printf("%-28s %10s %10s\n", "latency (ms)", "p50", "p99");
+    bench::print_rule();
+    std::printf("%-28s %10s %10s\n", "wire e2e", bench::fmt(wire_p50).c_str(),
+                bench::fmt(wire_p99).c_str());
+    std::printf("%-28s %10s %10s\n", "in-process e2e", bench::fmt(local_p50).c_str(),
+                bench::fmt(local_p99).c_str());
+    std::printf("%-28s %10s %10s\n", "dispatcher queue wait", bench::fmt(queue_p50).c_str(),
+                bench::fmt(queue_p99).c_str());
+    bench::print_rule();
+    std::printf("wire/in-process p99 ratio: %s (gate: <= 3.0 -> %s)\n",
+                bench::fmt(ratio).c_str(), gate_ok ? "ok" : "FAIL");
+    std::printf("server: %llu ok, %llu refused, %llu programs; serving coalesced %llu\n",
+                static_cast<unsigned long long>(stats.requests_ok),
+                static_cast<unsigned long long>(stats.requests_refused),
+                static_cast<unsigned long long>(stats.programs_registered),
+                static_cast<unsigned long long>(metrics.coalesced_requests));
+  }
+
+  server.shutdown();
+  serving.close();
+  return gate_ok ? 0 : 1;
+}

@@ -9,6 +9,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +21,81 @@
 #include "wavemig/mig.hpp"
 
 namespace wavemig::engine {
+
+/// @name Serving error taxonomy
+///
+/// Typed errors of the serving layer (like `unknown_technology_error` in the
+/// technology registry), so front-ends — the network wire layer above all —
+/// can map failure classes to status codes without string-matching. Every
+/// class keeps the base its untyped predecessor threw (`std::runtime_error`
+/// for control-flow errors, `std::invalid_argument` for validation errors),
+/// so pre-existing catch sites keep working unchanged.
+/// @{
+
+/// Thrown by `submit`/`submit_packed` once the session is closed (a
+/// `close()` ran or is running). Previously a bare `std::runtime_error`.
+class session_closed_error : public std::runtime_error {
+public:
+  session_closed_error() : std::runtime_error{"serving_session: submit after close"} {}
+};
+
+/// Thrown by `submit`/`submit_packed` when admission control is enabled and
+/// the backlog (queued + executing requests) already sits at the bound: the
+/// request was rejected outright, never queued. Rejecting beats queueing for
+/// a loaded server — the caller learns immediately instead of discovering a
+/// deadline miss later.
+class admission_rejected_error : public std::runtime_error {
+public:
+  admission_rejected_error(std::size_t pending, std::size_t bound)
+      : std::runtime_error{"serving_session: admission rejected (" +
+                           std::to_string(pending) + " pending >= bound " +
+                           std::to_string(bound) + ")"} {}
+};
+
+/// Surfaced through the future/callback of a request whose deadline passed
+/// before a dispatcher picked it up: the request fails instead of executing
+/// (its result could no longer be used by anyone).
+class deadline_expired_error : public std::runtime_error {
+public:
+  deadline_expired_error() : std::runtime_error{"serving_session: deadline expired"} {}
+};
+
+/// Surfaced through the future/callback of a request whose shape fails
+/// validation on the dispatcher — a zero-wave packed submission, plane words
+/// inconsistent with the declared wave count, or stray tail bits under
+/// strict validation. Derives from `std::invalid_argument` like every other
+/// engine validation error.
+class invalid_request_error : public std::invalid_argument {
+public:
+  explicit invalid_request_error(const std::string& what) : std::invalid_argument{what} {}
+};
+
+/// @}
+
+/// Per-request serving policies, honored by the dispatcher's gulp order.
+/// Default-constructed options reproduce the pre-policy behavior exactly
+/// (FIFO order, no deadline, tail bits masked).
+struct submit_options {
+  /// Dispatch priority: lower values are gulped (hence dispatched) first.
+  /// 128 is the neutral default; the wire protocol carries the raw byte.
+  std::uint8_t priority{128};
+  /// Absolute deadline. A request still queued when its deadline passes
+  /// fails with deadline_expired_error instead of executing. The zero
+  /// time_point (default) means no deadline.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Fairness key: within one priority class, a gulp round-robins across
+  /// distinct client ids (one request per client per turn, FIFO within a
+  /// client), so one flooding connection cannot starve the others. 0 means
+  /// unkeyed — unkeyed requests form their own round-robin class.
+  std::uint64_t client_id{0};
+  /// Strict packed validation: stray bits above `num_waves` in a plane's
+  /// last chunk fail the request (invalid_request_error) instead of being
+  /// silently masked — what the wire front-end uses for untrusted payloads.
+  bool reject_stray_tail_bits{false};
+  /// Scenario of the request; null = untagged. Shared so fused members and
+  /// the coalescing machinery never copy the scenario.
+  std::shared_ptr<const tech_scenario> scenario;
+};
 
 /// Completion callback of the async serving API. Exactly one of the two
 /// arguments is meaningful: on success `error` is null and `result` carries
@@ -40,6 +117,12 @@ struct serving_metrics {
   std::uint64_t requests_accepted{0};
   std::uint64_t requests_completed{0};  ///< callbacks fired with a result
   std::uint64_t requests_failed{0};     ///< callbacks fired with an error
+  /// Submissions refused by admission control (admission_rejected_error
+  /// thrown from submit; never accepted, so disjoint from the above).
+  std::uint64_t requests_rejected{0};
+  /// Requests failed because their deadline passed before dispatch (a
+  /// subset of requests_failed).
+  std::uint64_t requests_expired{0};
   /// Requests that executed as members of a fused multi-request pool pass
   /// (always counts the whole pass: a fused pass of 5 adds 5 here).
   std::uint64_t coalesced_requests{0};
@@ -109,7 +192,8 @@ public:
   /// Enqueues one request and returns a future for its packed result.
   /// Validation happens on the dispatcher, so malformed requests surface as
   /// exceptions from `future.get()`, not from `submit`. Throws
-  /// std::runtime_error when the session is closed.
+  /// session_closed_error when the session is closed and
+  /// admission_rejected_error when the backlog is at the admission bound.
   ///
   /// The `shared_ptr` overloads are the hot path: the session keeps only a
   /// reference (no deep copy) and memoizes the network's fingerprint, so
@@ -147,10 +231,11 @@ public:
   /// adopted wholesale (`wave_batch::from_plane_words`); no per-wave
   /// packing, no transpose, no copy happens anywhere between the producer
   /// and the kernel. Bits above `num_waves` in each plane's last chunk are
-  /// masked off. Like `submit`, validation (including the vector-size
-  /// check) happens on the dispatcher, so malformed requests surface
-  /// through the future / callback, and std::runtime_error is thrown when
-  /// the session is closed.
+  /// masked off (or rejected — see submit_options::reject_stray_tail_bits).
+  /// Like `submit`, validation (including the vector-size check) happens on
+  /// the dispatcher, so malformed requests surface through the future /
+  /// callback, and session_closed_error / admission_rejected_error are
+  /// thrown when the session is closed or the backlog is at the bound.
   [[nodiscard]] std::future<packed_wave_result> submit_packed(
       std::shared_ptr<const mig_network> net, std::vector<std::uint64_t> plane_words,
       std::size_t num_waves, unsigned phases);
@@ -173,6 +258,29 @@ public:
   void submit_packed(std::shared_ptr<const mig_network> net,
                      std::vector<std::uint64_t> plane_words, std::size_t num_waves,
                      unsigned phases, tech_scenario scenario, serving_callback on_complete);
+
+  /// Policy-carrying submissions: `opts` adds priority, an absolute
+  /// deadline, a per-client fairness key, strict tail-bit validation, and
+  /// an optional scenario (see submit_options). Default-constructed options
+  /// make these behave exactly like the plain overloads above.
+  [[nodiscard]] std::future<packed_wave_result> submit(
+      std::shared_ptr<const mig_network> net, wave_batch waves, unsigned phases,
+      submit_options opts);
+  void submit(std::shared_ptr<const mig_network> net, wave_batch waves, unsigned phases,
+              submit_options opts, serving_callback on_complete);
+  [[nodiscard]] std::future<packed_wave_result> submit_packed(
+      std::shared_ptr<const mig_network> net, std::vector<std::uint64_t> plane_words,
+      std::size_t num_waves, unsigned phases, submit_options opts);
+  void submit_packed(std::shared_ptr<const mig_network> net,
+                     std::vector<std::uint64_t> plane_words, std::size_t num_waves,
+                     unsigned phases, submit_options opts, serving_callback on_complete);
+
+  /// Admission bound: while `pending() >= max_pending`, submissions throw
+  /// admission_rejected_error instead of queueing (and are counted in
+  /// metrics().requests_rejected). 0 — the default — disables admission
+  /// control. Safe to adjust while the session is serving.
+  void set_admission_limit(std::size_t max_pending);
+  [[nodiscard]] std::size_t admission_limit() const;
 
   /// Blocks until every request accepted so far completed. New submissions
   /// remain allowed (and may keep `drain` from returning if they keep
@@ -216,9 +324,10 @@ private:
     std::size_t packed_waves{0};
     bool packed{false};
     unsigned phases{0};
-    /// Scenario of the request; null = untagged (the scenario-less path).
-    /// Shared so fused members and the memo never copy the scenario.
-    std::shared_ptr<const tech_scenario> scenario;
+    /// Per-request policies: priority/deadline/fairness key, strict tail
+    /// validation, and the scenario (null = untagged). The scenario is
+    /// shared so fused members and the memo never copy it.
+    submit_options opts;
     serving_callback done;
     std::chrono::steady_clock::time_point enqueued{};
   };
@@ -242,6 +351,13 @@ private:
 
   void enqueue(request req);
   void dispatcher_loop();
+  /// Selects the next gulp under `mutex_`. The queue's common shape — one
+  /// priority class, at most one client id — takes a straight FIFO slice;
+  /// otherwise requests are ordered by ascending priority byte and, inside
+  /// a priority class, round-robined across client ids (one request per
+  /// client per turn, FIFO within a client) so one flooding connection
+  /// cannot starve the rest of a gulp.
+  std::vector<request> take_gulp_locked();
   void process_gulp(std::vector<request> gulp);
   /// Fingerprint of `net`, memoized by pointer for shared networks. The
   /// memo entry carries a weak_ptr so a reused allocation address (old
@@ -283,6 +399,9 @@ private:
   std::deque<request> queue_;
   std::size_t active_{0};
   std::size_t inflight_units_{0};
+  /// 0 = unbounded; otherwise submissions are rejected once
+  /// `queue_.size() + active_` reaches the bound.
+  std::size_t admission_limit_{0};
   bool closed_{false};
   serving_metrics metrics_;
   std::vector<double> queue_wait_samples_;

@@ -95,14 +95,24 @@ public:
   void append_planes(const std::uint64_t* planes, std::size_t plane_stride,
                      std::size_t num_waves);
 
+  /// What `from_plane_words` does with bits above `num_waves` in a plane's
+  /// last chunk: `mask` (the default) zeroes them silently — right for
+  /// trusted in-process producers reusing padded buffers; `reject` throws
+  /// std::invalid_argument — right for untrusted payloads (the network
+  /// front-end), where stray bits mean a corrupted or mis-declared frame.
+  enum class tail_bits { mask, reject };
+
   /// Adopts `words` as plane-major storage without copying: `num_pis`
   /// planes of exactly ceil(num_waves / 64) words each (plane stride ==
   /// chunk count, PI i's words at `words[i * chunks .. (i+1) * chunks)`).
-  /// Bits above `num_waves` in each plane's last chunk are masked off.
-  /// Throws std::invalid_argument when the vector's size does not match.
-  /// This is the zero-copy ingestion path of serving_session::submit_packed.
+  /// Bits above `num_waves` in each plane's last chunk are masked off (or
+  /// rejected, per `tail`). Throws std::invalid_argument when the vector's
+  /// size does not match the declared shape — the check is division-based,
+  /// so a hostile `num_waves` near SIZE_MAX cannot wrap the arithmetic
+  /// into accepting a short buffer. This is the zero-copy ingestion path
+  /// of serving_session::submit_packed.
   static wave_batch from_plane_words(std::vector<std::uint64_t> words, std::size_t num_pis,
-                                     std::size_t num_waves);
+                                     std::size_t num_waves, tail_bits tail = tail_bits::mask);
 
   /// Drops all waves but keeps the word storage for reuse (the allocation
   /// amortizer of wave_stream's flush path).

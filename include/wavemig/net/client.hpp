@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "wavemig/mig.hpp"
+#include "wavemig/net/protocol.hpp"
+#include "wavemig/net/socket.hpp"
+
+namespace wavemig::net {
+
+/// A non-ok response surfaced as an exception by the conveniences that
+/// hide the response object (`register_program`). `status()` carries the
+/// wire status; what() carries the server's message.
+class wire_error : public std::runtime_error {
+public:
+  wire_error(wire_status status, const std::string& message)
+      : std::runtime_error{std::string{net::to_string(status)} + ": " + message},
+        status_{status} {}
+  [[nodiscard]] wire_status status() const { return status_; }
+
+private:
+  wire_status status_;
+};
+
+/// Client side of the wire protocol: connects, handshakes, and exchanges
+/// frames. Not thread-safe — one client per thread (the load generator
+/// opens one per worker). Requests may be pipelined: `send` several, then
+/// `receive` responses (matched by id; they arrive in completion order,
+/// not submission order).
+class wire_client {
+public:
+  /// Connects to a loopback server and performs the preamble handshake.
+  /// Throws socket_error / protocol_error on failure.
+  [[nodiscard]] static wire_client connect(std::uint16_t port,
+                                           const std::string& host = "127.0.0.1");
+
+  wire_client(wire_client&&) noexcept = default;
+  wire_client& operator=(wire_client&&) noexcept = default;
+
+  /// Registers a program and returns the server-computed fingerprint for
+  /// subsequent 8-byte-header runs. Throws wire_error on refusal.
+  std::uint64_t register_program(const mig_network& net);
+  std::uint64_t register_netlist(const std::string& mig_text);
+
+  /// Sends one run request (no waiting). A zero id is replaced with an
+  /// auto-incremented one; returns the id actually sent.
+  std::uint64_t send(run_request req);
+
+  /// Blocks for the next response (any id). Throws socket_error when the
+  /// server closed the connection, protocol_error on undecodable bytes.
+  [[nodiscard]] wire_response receive();
+
+  /// Round-trip convenience: send, then receive until this request's id
+  /// answers (stashing any other pipelined responses for later receive()
+  /// calls).
+  [[nodiscard]] wire_response run(run_request req);
+
+  /// Shuts the connection down (both directions).
+  void close() { sock_.shutdown_both(); }
+
+private:
+  explicit wire_client(tcp_socket sock) : sock_{std::move(sock)} {}
+
+  /// Blocks until the response with `id` arrives: drains the stash once,
+  /// then reads frames off the socket, stashing every other id.
+  [[nodiscard]] wire_response receive_matching(std::uint64_t id);
+  [[nodiscard]] wire_response receive_from_socket();
+
+  tcp_socket sock_;
+  std::uint64_t next_id_{1};
+  std::deque<wire_response> stashed_;
+};
+
+}  // namespace wavemig::net

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace wavemig::net {
+
+/// Thrown on socket-level failures (connect/bind/write errors). Clean
+/// end-of-stream is *not* an error — reads report it by returning false.
+class socket_error : public std::runtime_error {
+public:
+  explicit socket_error(const std::string& what) : std::runtime_error{what} {}
+};
+
+/// A connected TCP stream: a move-only fd wrapper with exact-length
+/// blocking I/O — all the protocol layer needs. Closes on destruction.
+class tcp_socket {
+public:
+  tcp_socket() = default;
+  explicit tcp_socket(int fd) : fd_{fd} {}
+  ~tcp_socket();
+
+  tcp_socket(tcp_socket&& other) noexcept;
+  tcp_socket& operator=(tcp_socket&& other) noexcept;
+  tcp_socket(const tcp_socket&) = delete;
+  tcp_socket& operator=(const tcp_socket&) = delete;
+
+  /// Connects to `host:port` (numeric IPv4 host; "127.0.0.1" for the
+  /// loopback tools this layer ships). Throws socket_error on failure.
+  [[nodiscard]] static tcp_socket connect(const std::string& host, std::uint16_t port);
+
+  /// Reads exactly `size` bytes. Returns false on end-of-stream — whether
+  /// at a clean boundary or mid-buffer (a truncated frame and a closed
+  /// peer are indistinguishable here; framing decides what was lost).
+  /// Throws socket_error on genuine I/O errors; a peer reset reads as
+  /// end-of-stream, not an error.
+  [[nodiscard]] bool read_exact(void* data, std::size_t size);
+
+  /// Writes exactly `size` bytes or throws socket_error (a closed peer
+  /// surfaces as EPIPE — signals are suppressed, not raised).
+  void write_all(const void* data, std::size_t size);
+
+  /// Shuts down both directions without closing the fd: any thread blocked
+  /// in read_exact on this socket returns end-of-stream. The unblocking
+  /// half of a graceful teardown.
+  void shutdown_both() noexcept;
+  /// Shuts down the read direction only: the peer's in-flight responses
+  /// still flush, but our reader unblocks. What a draining server uses.
+  void shutdown_read() noexcept;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close() noexcept;
+
+private:
+  int fd_{-1};
+};
+
+/// A listening TCP socket bound to the loopback interface. Port 0 binds an
+/// ephemeral port; `port()` reports the bound one.
+class tcp_listener {
+public:
+  tcp_listener() = default;
+  ~tcp_listener();
+
+  tcp_listener(tcp_listener&& other) noexcept;
+  tcp_listener& operator=(tcp_listener&& other) noexcept;
+  tcp_listener(const tcp_listener&) = delete;
+  tcp_listener& operator=(const tcp_listener&) = delete;
+
+  [[nodiscard]] static tcp_listener listen_loopback(std::uint16_t port, int backlog = 64);
+
+  /// Blocks for the next connection. Returns an invalid socket once the
+  /// listener is closed (the accept loop's exit signal).
+  [[nodiscard]] tcp_socket accept();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Closes the listening fd; a blocked accept() returns invalid.
+  void close() noexcept;
+
+private:
+  int fd_{-1};
+  std::uint16_t port_{0};
+};
+
+}  // namespace wavemig::net

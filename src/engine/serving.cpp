@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 
@@ -33,7 +34,14 @@ void serving_session::enqueue(request req) {
   {
     std::lock_guard<std::mutex> lock{mutex_};
     if (closed_) {
-      throw std::runtime_error{"serving_session: submit after close"};
+      throw session_closed_error{};
+    }
+    // Admission control: reject (don't queue) once the backlog sits at the
+    // bound — the caller learns now instead of missing a deadline later.
+    const std::size_t backlog = queue_.size() + active_;
+    if (admission_limit_ != 0 && backlog >= admission_limit_) {
+      ++metrics_.requests_rejected;
+      throw admission_rejected_error{backlog, admission_limit_};
     }
     ++metrics_.requests_accepted;
     queue_.push_back(std::move(req));
@@ -85,7 +93,7 @@ void serving_session::submit(std::shared_ptr<const mig_network> net, wave_batch 
   req.net = std::move(net);
   req.waves = std::move(waves);
   req.phases = phases;
-  req.scenario = std::make_shared<const tech_scenario>(std::move(scenario));
+  req.opts.scenario = std::make_shared<const tech_scenario>(std::move(scenario));
   req.done = std::move(on_complete);
   enqueue(std::move(req));
 }
@@ -160,7 +168,7 @@ void serving_session::submit_packed(std::shared_ptr<const mig_network> net,
   req.packed_waves = num_waves;
   req.packed = true;
   req.phases = phases;
-  req.scenario = std::make_shared<const tech_scenario>(std::move(scenario));
+  req.opts.scenario = std::make_shared<const tech_scenario>(std::move(scenario));
   req.done = std::move(on_complete);
   enqueue(std::move(req));
 }
@@ -172,6 +180,65 @@ std::future<packed_wave_result> serving_session::submit_packed(
   auto future = promise->get_future();
   submit_packed(std::move(net), std::move(plane_words), num_waves, phases,
                 std::move(scenario),
+                [promise](packed_wave_result result, std::exception_ptr error) {
+                  if (error) {
+                    promise->set_exception(error);
+                  } else {
+                    promise->set_value(std::move(result));
+                  }
+                });
+  return future;
+}
+
+void serving_session::submit(std::shared_ptr<const mig_network> net, wave_batch waves,
+                             unsigned phases, submit_options opts,
+                             serving_callback on_complete) {
+  request req;
+  req.net = std::move(net);
+  req.waves = std::move(waves);
+  req.phases = phases;
+  req.opts = std::move(opts);
+  req.done = std::move(on_complete);
+  enqueue(std::move(req));
+}
+
+std::future<packed_wave_result> serving_session::submit(
+    std::shared_ptr<const mig_network> net, wave_batch waves, unsigned phases,
+    submit_options opts) {
+  auto promise = std::make_shared<std::promise<packed_wave_result>>();
+  auto future = promise->get_future();
+  submit(std::move(net), std::move(waves), phases, std::move(opts),
+         [promise](packed_wave_result result, std::exception_ptr error) {
+           if (error) {
+             promise->set_exception(error);
+           } else {
+             promise->set_value(std::move(result));
+           }
+         });
+  return future;
+}
+
+void serving_session::submit_packed(std::shared_ptr<const mig_network> net,
+                                    std::vector<std::uint64_t> plane_words,
+                                    std::size_t num_waves, unsigned phases,
+                                    submit_options opts, serving_callback on_complete) {
+  request req;
+  req.net = std::move(net);
+  req.plane_words = std::move(plane_words);
+  req.packed_waves = num_waves;
+  req.packed = true;
+  req.phases = phases;
+  req.opts = std::move(opts);
+  req.done = std::move(on_complete);
+  enqueue(std::move(req));
+}
+
+std::future<packed_wave_result> serving_session::submit_packed(
+    std::shared_ptr<const mig_network> net, std::vector<std::uint64_t> plane_words,
+    std::size_t num_waves, unsigned phases, submit_options opts) {
+  auto promise = std::make_shared<std::promise<packed_wave_result>>();
+  auto future = promise->get_future();
+  submit_packed(std::move(net), std::move(plane_words), num_waves, phases, std::move(opts),
                 [promise](packed_wave_result result, std::exception_ptr error) {
                   if (error) {
                     promise->set_exception(error);
@@ -224,20 +291,99 @@ void serving_session::dispatcher_loop() {
       if (queue_.empty()) {
         return;  // closed and fully drained
       }
-      const std::size_t take = std::min(queue_.size(), max_gulp_requests);
-      gulp.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        gulp.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+      gulp = take_gulp_locked();
       // The gulp's requests count as active until their units retire them,
       // so drain()'s predicate never observes a false idle.
-      active_ += take;
+      active_ += gulp.size();
       ++metrics_.gulps;
-      metrics_.max_gulp = std::max<std::uint64_t>(metrics_.max_gulp, take);
+      metrics_.max_gulp = std::max<std::uint64_t>(metrics_.max_gulp, gulp.size());
     }
     process_gulp(std::move(gulp));
   }
+}
+
+std::vector<serving_session::request> serving_session::take_gulp_locked() {
+  const std::size_t take = std::min(queue_.size(), max_gulp_requests);
+  std::vector<request> gulp;
+  gulp.reserve(take);
+
+  // Fast path — the overwhelmingly common queue shape (one priority class,
+  // at most one client id) is plain FIFO: no selection pass, no rebuild.
+  bool uniform = true;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i].opts.priority != queue_.front().opts.priority ||
+        queue_[i].opts.client_id != queue_.front().opts.client_id) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) {
+    for (std::size_t i = 0; i < take; ++i) {
+      gulp.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return gulp;
+  }
+
+  // Policy path: order the whole queue by ascending priority byte (stable,
+  // so FIFO survives inside equal keys), then round-robin across client
+  // ids inside each priority class — every sweep takes at most one request
+  // per client, so a flooding client contributes once per turn while its
+  // competitors' requests drain alongside.
+  std::vector<std::size_t> order(queue_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return queue_[a].opts.priority < queue_[b].opts.priority;
+  });
+
+  std::vector<std::size_t> chosen;
+  chosen.reserve(take);
+  std::size_t at = 0;
+  while (chosen.size() < take && at < order.size()) {
+    std::size_t end = at;
+    while (end < order.size() &&
+           queue_[order[end]].opts.priority == queue_[order[at]].opts.priority) {
+      ++end;
+    }
+    std::vector<char> taken(end - at, 0);
+    std::size_t remaining = end - at;
+    while (remaining > 0 && chosen.size() < take) {
+      std::vector<std::uint64_t> clients_this_turn;
+      for (std::size_t k = at; k < end && chosen.size() < take; ++k) {
+        if (taken[k - at]) {
+          continue;
+        }
+        const std::uint64_t client = queue_[order[k]].opts.client_id;
+        if (std::find(clients_this_turn.begin(), clients_this_turn.end(), client) !=
+            clients_this_turn.end()) {
+          continue;  // this client already got its slot this turn
+        }
+        clients_this_turn.push_back(client);
+        taken[k - at] = 1;
+        --remaining;
+        chosen.push_back(order[k]);
+      }
+    }
+    at = end;
+  }
+
+  // Extract the chosen requests (in selection order), then rebuild the
+  // queue from the unchosen remainder in original FIFO order.
+  std::vector<char> selected(queue_.size(), 0);
+  for (const std::size_t i : chosen) {
+    selected[i] = 1;
+  }
+  for (const std::size_t i : chosen) {
+    gulp.push_back(std::move(queue_[i]));
+  }
+  std::deque<request> rest;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (!selected[i]) {
+      rest.push_back(std::move(queue_[i]));
+    }
+  }
+  queue_ = std::move(rest);
+  return gulp;
 }
 
 void serving_session::process_gulp(std::vector<request> gulp) {
@@ -265,24 +411,47 @@ void serving_session::process_gulp(std::vector<request> gulp) {
   ready.reserve(gulp.size());
   for (request& req : gulp) {
     try {
+      // A request whose deadline already passed fails without executing —
+      // nobody can use its result, so the cycles go to requests that can
+      // still make theirs.
+      if (req.opts.deadline != std::chrono::steady_clock::time_point{} &&
+          now >= req.opts.deadline) {
+        throw deadline_expired_error{};
+      }
       if (req.packed) {
-        // Zero-copy adoption of the caller's plane-major words. The size
+        // Zero-copy adoption of the caller's plane-major words. Shape
         // validation throws here — on the dispatcher — so a malformed
         // packed request surfaces through the future like any other
-        // validation error.
-        req.waves = wave_batch::from_plane_words(std::move(req.plane_words),
-                                                 req.net->num_pis(), req.packed_waves);
+        // validation error. Packed requests declare their shape, so zero
+        // waves is a malformed header, not a degenerate batch.
+        if (req.packed_waves == 0) {
+          throw invalid_request_error{"serving_session: packed request with zero waves"};
+        }
+        try {
+          req.waves = wave_batch::from_plane_words(
+              std::move(req.plane_words), req.net->num_pis(), req.packed_waves,
+              req.opts.reject_stray_tail_bits ? wave_batch::tail_bits::reject
+                                              : wave_batch::tail_bits::mask);
+        } catch (const std::invalid_argument& shape) {
+          throw invalid_request_error{shape.what()};
+        }
       }
       // Scenario-tagged requests compile through the scenario cache path;
       // the distinct program pointer then keeps them from coalescing with
       // untagged (or differently-tagged) requests against the same network.
-      auto program =
-          req.scenario
-              ? session_.compile(*req.net, req.phases, fingerprint_of(req.net), *req.scenario)
-              : session_.compile(*req.net, req.phases, fingerprint_of(req.net));
+      auto program = req.opts.scenario
+                         ? session_.compile(*req.net, req.phases, fingerprint_of(req.net),
+                                            *req.opts.scenario)
+                         : session_.compile(*req.net, req.phases, fingerprint_of(req.net));
       validate_packed_run(*program, req.waves.num_pis(), req.phases, "serving_session");
       const std::size_t chunks = req.waves.num_chunks();
       ready.push_back({std::move(req), std::move(program), chunks});
+    } catch (const deadline_expired_error&) {
+      {
+        std::lock_guard<std::mutex> lock{mutex_};
+        ++metrics_.requests_expired;
+      }
+      fail_request(req, std::current_exception());
     } catch (...) {
       fail_request(req, std::current_exception());
     }
@@ -500,6 +669,16 @@ void serving_session::finish_unit(const std::shared_ptr<exec_unit>& unit,
 }
 
 // ------------------------------------------------------------ control ---
+
+void serving_session::set_admission_limit(std::size_t max_pending) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  admission_limit_ = max_pending;
+}
+
+std::size_t serving_session::admission_limit() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return admission_limit_;
+}
 
 void serving_session::drain() {
   std::unique_lock<std::mutex> lock{mutex_};

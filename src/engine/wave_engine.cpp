@@ -225,9 +225,17 @@ void wave_batch::append_planes(const std::uint64_t* planes, std::size_t plane_st
 }
 
 wave_batch wave_batch::from_plane_words(std::vector<std::uint64_t> words, std::size_t num_pis,
-                                        std::size_t num_waves) {
-  const std::size_t chunks = (num_waves + 63) / 64;
-  if (words.size() != chunks * num_pis) {
+                                        std::size_t num_waves, tail_bits tail) {
+  // Overflow-proof shape check: (num_waves + 63) could wrap for a hostile
+  // num_waves near SIZE_MAX, and chunks * num_pis could wrap right back
+  // onto the attacker's buffer size. Divide instead of multiplying: the
+  // buffer decides how many chunks per plane there are, and num_waves must
+  // agree with that count exactly.
+  const std::size_t chunks = num_waves / 64 + (num_waves % 64 != 0 ? 1 : 0);
+  const bool size_matches = num_pis == 0
+                                ? words.size() == 0
+                                : words.size() % num_pis == 0 && words.size() / num_pis == chunks;
+  if (!size_matches) {
     throw std::invalid_argument{
         "wave_batch: plane words must hold ceil(num_waves / 64) chunks per primary input"};
   }
@@ -236,11 +244,17 @@ wave_batch wave_batch::from_plane_words(std::vector<std::uint64_t> words, std::s
   batch.chunk_capacity_ = chunks;
   batch.num_waves_ = num_waves;
   // Restore the tail invariant: the adopted buffer may carry stray bits
-  // above num_waves in each plane's last chunk.
-  if (const std::size_t tail = num_waves % 64; tail != 0) {
-    const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+  // above num_waves in each plane's last chunk. Under `reject` they are a
+  // shape error (an untrusted producer mis-declared its wave count).
+  if (const std::size_t live = num_waves % 64; live != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << live) - 1;
     for (std::size_t i = 0; i < num_pis; ++i) {
-      batch.words_[i * chunks + chunks - 1] &= mask;
+      std::uint64_t& last = batch.words_[i * chunks + chunks - 1];
+      if (tail == tail_bits::reject && (last & ~mask) != 0) {
+        throw std::invalid_argument{
+            "wave_batch: stray bits above num_waves in a plane's last chunk"};
+      }
+      last &= mask;
     }
   }
   return batch;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "wavemig/io/mig_format.hpp"  // parse_error
+#include "wavemig/io/text_util.hpp"
 
 namespace wavemig::io {
 
@@ -80,9 +81,7 @@ mig_network read_blif(std::istream& is) {
 
   while (std::getline(is, line)) {
     ++line_no;
-    if (!line.empty() && line.back() == '\r') {
-      line.pop_back();
-    }
+    strip_line_ending(line);  // CRLF parity with every other io/ reader
     // A '#' comment runs to the end of the physical line, so a backslash
     // inside a comment is part of the comment, not a continuation: strip
     // before the continuation check, and drop the whitespace the strip can
@@ -90,9 +89,7 @@ mig_network read_blif(std::istream& is) {
     if (const auto hash = line.find('#'); hash != std::string::npos) {
       line = line.substr(0, hash);
     }
-    while (!line.empty() && (line.back() == ' ' || line.back() == '\t')) {
-      line.pop_back();
-    }
+    strip_line_ending(line);
     if (!line.empty() && line.back() == '\\') {
       pending += line.substr(0, line.size() - 1) + " ";
       continue;

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "wavemig/io/text_util.hpp"
+
 namespace wavemig::io {
 
 namespace {
@@ -132,9 +134,7 @@ mig_network read_mig(std::istream& is) {
       continue;
     }
     line = line.substr(begin);
-    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
-      line.pop_back();
-    }
+    strip_line_ending(line);
 
     if (line.rfind(".model", 0) == 0) {
       continue;

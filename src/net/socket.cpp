@@ -1,0 +1,196 @@
+#include "wavemig/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace wavemig::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw socket_error{std::string{what} + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- tcp_socket ---
+
+tcp_socket::~tcp_socket() { close(); }
+
+tcp_socket::tcp_socket(tcp_socket&& other) noexcept : fd_{std::exchange(other.fd_, -1)} {}
+
+tcp_socket& tcp_socket::operator=(tcp_socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+tcp_socket tcp_socket::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno("socket");
+  }
+  tcp_socket sock{fd};
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw socket_error{"inet_pton: invalid IPv4 address '" + host + "'"};
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("connect");
+  }
+  // Frames are written whole (prefix + payload back to back); Nagle only
+  // adds latency between them.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+bool tcp_socket::read_exact(void* data, std::size_t size) {
+  auto* at = static_cast<std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t got = ::recv(fd_, at, size, 0);
+    if (got > 0) {
+      at += got;
+      size -= static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      return false;  // peer closed (clean or mid-frame; the caller frames)
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == ECONNRESET || errno == EPIPE) {
+      return false;  // reset reads as end-of-stream, like a close
+    }
+    throw_errno("recv");
+  }
+  return true;
+}
+
+void tcp_socket::write_all(const void* data, std::size_t size) {
+  const auto* at = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t put = ::send(fd_, at, size, MSG_NOSIGNAL);
+    if (put > 0) {
+      at += put;
+      size -= static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) {
+      continue;
+    }
+    throw_errno("send");
+  }
+}
+
+void tcp_socket::shutdown_both() noexcept {
+  if (fd_ >= 0) {
+    (void)::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void tcp_socket::shutdown_read() noexcept {
+  if (fd_ >= 0) {
+    (void)::shutdown(fd_, SHUT_RD);
+  }
+}
+
+void tcp_socket::close() noexcept {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --------------------------------------------------------- tcp_listener ---
+
+tcp_listener::~tcp_listener() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+tcp_listener::tcp_listener(tcp_listener&& other) noexcept
+    : fd_{std::exchange(other.fd_, -1)}, port_{std::exchange(other.port_, 0)} {}
+
+tcp_listener& tcp_listener::operator=(tcp_listener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      (void)::close(fd_);
+    }
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+tcp_listener tcp_listener::listen_loopback(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno("socket");
+  }
+  tcp_listener listener;
+  listener.fd_ = fd;
+
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd, backlog) != 0) {
+    throw_errno("listen");
+  }
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+tcp_socket tcp_listener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return tcp_socket{fd};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return tcp_socket{};  // listener closed / shut down: accept loop exits
+  }
+}
+
+void tcp_listener::close() noexcept {
+  // Shut down rather than close: a concurrently blocked accept() returns
+  // with an error instead of racing the fd number being reused. The fd
+  // itself is released by the destructor, after the accept loop joined.
+  if (fd_ >= 0) {
+    (void)::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+}  // namespace wavemig::net

@@ -631,5 +631,262 @@ TEST(serving_scenarios, packed_scenario_submission_matches_the_reference) {
   EXPECT_EQ(got.num_waves, reference.num_waves);
 }
 
+
+// ------------------------------------------------- policies + hardening ---
+
+/// The typed-error taxonomy: each refusal class is catchable as its own
+/// type while keeping the base its untyped predecessor threw, so both old
+/// and new catch sites work.
+TEST(serving_policies, typed_errors_carry_their_class) {
+  engine::parallel_executor executor{1};
+  engine::serving_session serving{executor, {}, {}, 1};
+  const auto net = std::make_shared<const mig_network>(gen::ripple_adder_circuit(4));
+  serving.submit(net, batch_for(*net, 64, 1), 3).get();  // warm the cache
+  serving.drain();
+
+  // Admission: park the worker so one request pins the backlog at 1.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  executor.submit([released](unsigned) { released.wait(); });
+  auto held = serving.submit(net, batch_for(*net, 64, 2), 3);
+  serving.set_admission_limit(1);
+  EXPECT_EQ(serving.admission_limit(), 1u);
+  try {
+    (void)serving.submit(net, batch_for(*net, 64, 3), 3);
+    FAIL() << "admission bound did not reject";
+  } catch (const engine::admission_rejected_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("admission rejected"), std::string::npos);
+  }
+  EXPECT_EQ(serving.metrics().requests_rejected, 1u);
+  serving.set_admission_limit(0);
+  release.set_value();
+  EXPECT_EQ(held.get().num_waves, 64u);
+
+  // Closed session: typed, and still a runtime_error for legacy catches.
+  serving.close();
+  EXPECT_THROW((void)serving.submit(net, batch_for(*net, 10, 4), 3),
+               engine::session_closed_error);
+  EXPECT_THROW((void)serving.submit(net, batch_for(*net, 10, 5), 3), std::runtime_error);
+}
+
+/// A deadline already in the past fails at dispatcher pickup with the typed
+/// error — the request never executes — and is counted as expired.
+TEST(serving_policies, expired_deadlines_fail_typed_without_executing) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor, {}, {}, 1};
+  const auto net = std::make_shared<const mig_network>(gen::ripple_adder_circuit(4));
+  serving.submit(net, batch_for(*net, 64, 1), 3).get();
+
+  engine::submit_options opts;
+  opts.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds{1};
+  auto doomed = serving.submit(net, batch_for(*net, 64, 2), 3, opts);
+  EXPECT_THROW(doomed.get(), engine::deadline_expired_error);
+  serving.drain();  // the failure is retired (and counted) after the future
+
+  const auto metrics = serving.metrics();
+  EXPECT_EQ(metrics.requests_expired, 1u);
+  EXPECT_EQ(metrics.requests_failed, 1u);  // expired is a subset of failed
+  EXPECT_EQ(metrics.requests_completed, 1u);
+  serving.close();
+}
+
+/// Wedges the lone dispatcher behind the in-flight pass cap (4 with one
+/// worker): five too-wide-to-coalesce requests fill the cap and block the
+/// fifth launch, so everything submitted afterwards queues into one gulp.
+/// Returns the futures of the blockers; `release` frees the worker.
+std::vector<std::future<engine::packed_wave_result>> wedge_dispatcher(
+    engine::serving_session& serving, engine::parallel_executor& executor,
+    const std::shared_ptr<const mig_network>& net, std::shared_future<void> released) {
+  executor.submit([released](unsigned) { released.wait(); });
+  const std::uint64_t gulps_before = serving.metrics().gulps;
+  std::vector<std::future<engine::packed_wave_result>> blockers;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    blockers.push_back(serving.submit(net, batch_for(*net, 520, 7000 + i), 3));
+    while (serving.metrics().gulps < gulps_before + i) {
+      std::this_thread::yield();
+    }
+  }
+  return blockers;
+}
+
+/// Priority orders one gulp: lower bytes dispatch (and with one worker,
+/// complete) first; ties stay FIFO.
+TEST(serving_policies, priority_orders_the_gulp) {
+  engine::parallel_executor executor{1};
+  engine::serving_session serving{executor, {}, {}, 1};
+  const auto net = std::make_shared<const mig_network>(gen::ripple_adder_circuit(4));
+  serving.submit(net, batch_for(*net, 64, 1), 3).get();
+  serving.drain();
+
+  std::promise<void> release;
+  auto blockers = wedge_dispatcher(serving, executor, net, release.get_future().share());
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  const auto record = [&](int tag) {
+    return [&, tag](engine::packed_wave_result, std::exception_ptr error) {
+      ASSERT_EQ(error, nullptr);
+      std::lock_guard<std::mutex> lock{order_mutex};
+      order.push_back(tag);
+    };
+  };
+  const auto submit_with_priority = [&](int tag, std::uint8_t priority) {
+    engine::submit_options opts;
+    opts.priority = priority;
+    serving.submit(net, batch_for(*net, 40 + tag, 100 + tag), 3, opts, record(tag));
+  };
+  submit_with_priority(0, 200);
+  submit_with_priority(1, 10);
+  submit_with_priority(2, 200);
+  submit_with_priority(3, 10);
+
+  release.set_value();
+  for (auto& blocker : blockers) {
+    (void)blocker.get();
+  }
+  serving.drain();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 0, 2}));
+  serving.close();
+}
+
+/// Within one priority class a gulp round-robins across client ids — one
+/// request per client per turn, FIFO within a client — so a flooding client
+/// cannot starve the rest.
+TEST(serving_policies, clients_round_robin_within_a_priority_class) {
+  engine::parallel_executor executor{1};
+  engine::serving_session serving{executor, {}, {}, 1};
+  const auto net = std::make_shared<const mig_network>(gen::ripple_adder_circuit(4));
+  serving.submit(net, batch_for(*net, 64, 1), 3).get();
+  serving.drain();
+
+  std::promise<void> release;
+  auto blockers = wedge_dispatcher(serving, executor, net, release.get_future().share());
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  const auto submit_for_client = [&](int tag, std::uint64_t client) {
+    engine::submit_options opts;
+    opts.client_id = client;
+    serving.submit(net, batch_for(*net, 40 + tag, 200 + tag), 3, opts,
+                   [&, tag](engine::packed_wave_result, std::exception_ptr error) {
+                     ASSERT_EQ(error, nullptr);
+                     std::lock_guard<std::mutex> lock{order_mutex};
+                     order.push_back(tag);
+                   });
+  };
+  // Client 1 floods three requests before client 2's lone request arrives.
+  submit_for_client(0, 1);
+  submit_for_client(1, 1);
+  submit_for_client(2, 1);
+  submit_for_client(3, 2);
+
+  release.set_value();
+  for (auto& blocker : blockers) {
+    (void)blocker.get();
+  }
+  serving.drain();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 2}));
+  serving.close();
+}
+
+/// Hostile packed shapes surface as invalid_request_error (which is still an
+/// invalid_argument) through the future — never as a crash, never from
+/// submit itself.
+TEST(serving_hardening, hostile_packed_shapes_fail_typed) {
+  engine::parallel_executor executor{2};
+  engine::serving_session serving{executor, {}, {}, 1};
+  const auto net = std::make_shared<const mig_network>(gen::ripple_adder_circuit(4));
+  const std::size_t pis = net->num_pis();
+
+  // Zero waves.
+  EXPECT_THROW(serving.submit_packed(net, {}, 0, 3).get(), engine::invalid_request_error);
+  // Words inconsistent with the wave count (3 words for one chunk of 9 PIs).
+  EXPECT_THROW(serving.submit_packed(net, std::vector<std::uint64_t>(3, 0), 100, 3).get(),
+               engine::invalid_request_error);
+  // A plane count that divides evenly but yields the wrong chunk count.
+  EXPECT_THROW(
+      serving.submit_packed(net, std::vector<std::uint64_t>(pis * 3, 0), 100, 3).get(),
+      std::invalid_argument);
+
+  // Stray bits above num_waves: rejected under the strict policy...
+  std::vector<std::uint64_t> dirty(pis, 0);
+  dirty[2] = ~std::uint64_t{0};  // waves 0..9 valid, bits 10..63 stray
+  engine::submit_options strict;
+  strict.reject_stray_tail_bits = true;
+  try {
+    serving.submit_packed(net, dirty, 10, 3, strict).get();
+    FAIL() << "strict tail validation did not reject";
+  } catch (const engine::invalid_request_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("stray bits"), std::string::npos);
+  }
+
+  // ...and masked to the trusted default otherwise: identical to clean words.
+  std::vector<std::uint64_t> clean = dirty;
+  clean[2] &= (std::uint64_t{1} << 10) - 1;
+  const auto masked = serving.submit_packed(net, dirty, 10, 3).get();
+  const auto reference = serving.submit_packed(net, clean, 10, 3).get();
+  EXPECT_EQ(masked.words, reference.words);
+  serving.drain();  // failures are retired (and counted) after their futures
+  EXPECT_EQ(serving.metrics().requests_failed, 4u);
+  serving.close();
+}
+
+/// close() racing an in-flight coalesced pass whose callbacks resubmit:
+/// every primary callback fires exactly once, every follow-up either lands
+/// before the close and completes, or is refused with the typed error —
+/// and close() returns with nothing left pending.
+TEST(serving_shutdown, close_races_resubmitting_callbacks_from_fused_passes) {
+  const auto net = std::make_shared<const mig_network>(gen::ripple_adder_circuit(4));
+  for (int round = 0; round < 10; ++round) {
+    engine::parallel_executor executor{2};
+    auto serving = std::make_unique<engine::serving_session>(
+        executor, buffer_insertion_options{}, engine::cache_limits{}, 1u);
+    serving->submit(net, batch_for(*net, 64, 1), 3).get();
+
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    executor.submit([released](unsigned) { released.wait(); });
+    executor.submit([released](unsigned) { released.wait(); });
+
+    constexpr int burst = 16;
+    std::atomic<int> primaries{0};
+    std::atomic<int> resubmitted{0};
+    std::atomic<int> refused{0};
+    std::atomic<int> follow_ups_done{0};
+    for (int i = 0; i < burst; ++i) {
+      serving->submit(
+          net, batch_for(*net, 30 + i, 5000 + round * 100 + i), 3,
+          [&, i](engine::packed_wave_result, std::exception_ptr error) {
+            ++primaries;
+            if (error) {
+              return;
+            }
+            try {
+              serving->submit(net, batch_for(*net, 20 + i, 6000 + i), 3,
+                              [&](engine::packed_wave_result, std::exception_ptr) {
+                                ++follow_ups_done;
+                              });
+              ++resubmitted;
+            } catch (const engine::session_closed_error&) {
+              ++refused;
+            }
+          });
+    }
+
+    release.set_value();
+    serving->close();  // races the fused passes and their resubmissions
+
+    EXPECT_EQ(primaries.load(), burst);
+    EXPECT_EQ(resubmitted.load() + refused.load(), burst);
+    // close() drains everything it accepted: accepted follow-ups completed.
+    EXPECT_EQ(follow_ups_done.load(), resubmitted.load());
+    EXPECT_EQ(serving->pending(), 0u);
+    const auto metrics = serving->metrics();
+    EXPECT_EQ(metrics.requests_completed,
+              1u + static_cast<std::uint64_t>(burst + resubmitted.load()));
+    EXPECT_EQ(metrics.requests_failed, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace wavemig
