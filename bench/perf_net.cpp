@@ -11,8 +11,16 @@
 // protocol's zero-copy framing means a request costs syscalls, not copies,
 // so queueing and evaluation dominate both paths identically under load.
 //
-// `--json` emits machine-readable records (BENCH_pr8.json is this bench's
-// output); the wire_e2e_gate_ok record is what CI greps.
+// The load now runs with the resilience machinery armed the way production
+// would run it: each wire client carries a retry policy (reconnect/backoff/
+// re-send) and the session carries a shed policy with a deep queue bound.
+// Under nominal load neither may do anything — the shed_gate_ok record (CI
+// greps it alongside wire_e2e_gate_ok) asserts zero sheds, and the
+// reconnect/resend counters are reported so a retry storm is visible in the
+// records rather than silently absorbed into the tail.
+//
+// `--json` emits machine-readable records (BENCH_pr9.json is this bench's
+// output); the wire_e2e_gate_ok and shed_gate_ok records are what CI greps.
 
 #include <atomic>
 #include <chrono>
@@ -86,9 +94,18 @@ bool is_cold(std::size_t i) { return i % cold_every == cold_every - 1; }
 /// Drives one wire client: pipelines up to `window` requests, records each
 /// request's end-to-end milliseconds (send to matching response).
 void run_wire_client(std::uint16_t port, const workload& load, unsigned client_index,
-                     std::vector<double>& e2e_ms, std::atomic<bool>& ok) {
+                     std::vector<double>& e2e_ms, wavemig::net::client_stats& stats_out,
+                     std::atomic<bool>& ok) {
   try {
     auto client = wavemig::net::wire_client::connect(port);
+    // Production-shaped client: survives a dropped connection. At nominal
+    // load this never triggers; the reconnect/resend counters are summed
+    // into the JSON records to prove it.
+    wavemig::net::retry_policy policy;
+    policy.max_attempts = 3;
+    policy.base_backoff = std::chrono::milliseconds{5};
+    policy.max_backoff = std::chrono::milliseconds{100};
+    client.set_retry_policy(policy);
     const std::uint64_t adder_fp = client.register_program(*load.adder);
     const std::uint64_t mig_fp = client.register_program(*load.mig4k);
 
@@ -121,6 +138,7 @@ void run_wire_client(std::uint16_t port, const workload& load, unsigned client_i
         return;
       }
     }
+    stats_out = client.stats();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "client %u failed: %s\n", client_index, e.what());
     ok.store(false);
@@ -181,6 +199,13 @@ int main(int argc, char** argv) {
   engine::serving_session serving{executor};
   net::wire_server server{serving};
 
+  // Production-shaped overload protection: a queue bound far above what two
+  // pipelining clients can stack up. Nominal load must shed exactly nothing
+  // (shed_gate_ok below) — the policy exists for overload, not steady state.
+  engine::shed_policy shed;
+  shed.queue_depth = 512;
+  serving.set_shed_policy(shed);
+
   if (!json) {
     bench::print_title("perf_net: loopback wire serving vs in-process submit_packed");
     std::printf("clients=%u requests/client=%zu waves/request=%zu phases=%u (cold every %zu)\n",
@@ -201,11 +226,13 @@ int main(int argc, char** argv) {
   // --- wire phase ----------------------------------------------------------
   std::atomic<bool> ok{true};
   std::vector<std::vector<double>> wire_lat(num_clients);
+  std::vector<net::client_stats> client_stats(num_clients);
   {
     std::vector<std::thread> clients;
     for (unsigned c = 0; c < num_clients; ++c) {
-      clients.emplace_back(
-          [&, c] { run_wire_client(server.port(), load, c, wire_lat[c], ok); });
+      clients.emplace_back([&, c] {
+        run_wire_client(server.port(), load, c, wire_lat[c], client_stats[c], ok);
+      });
     }
     for (auto& t : clients) {
       t.join();
@@ -252,6 +279,15 @@ int main(int argc, char** argv) {
 
   const auto stats = server.stats();
   const auto metrics = serving.metrics();
+  std::uint64_t reconnects = 0;
+  std::uint64_t resends = 0;
+  for (const auto& cs : client_stats) {
+    reconnects += cs.reconnects;
+    resends += cs.resends;
+  }
+  // At nominal load the shed policy must be invisible: a single shed here
+  // means the overload detector misfires on healthy traffic.
+  const bool shed_gate_ok = metrics.requests_shed == 0;
 
   if (json) {
     bench::json_record("perf_net", "wire_e2e_p50_ms", wire_p50);
@@ -268,7 +304,12 @@ int main(int argc, char** argv) {
                        static_cast<double>(stats.programs_registered));
     bench::json_record("perf_net", "coalesced_requests",
                        static_cast<double>(metrics.coalesced_requests));
+    bench::json_record("perf_net", "client_reconnects", static_cast<double>(reconnects));
+    bench::json_record("perf_net", "client_resends", static_cast<double>(resends));
+    bench::json_record("perf_net", "requests_shed",
+                       static_cast<double>(metrics.requests_shed));
     bench::json_record("perf_net", "wire_e2e_gate_ok", gate_ok ? 1.0 : 0.0);
+    bench::json_record("perf_net", "shed_gate_ok", shed_gate_ok ? 1.0 : 0.0);
   } else {
     bench::print_rule();
     std::printf("%-28s %10s %10s\n", "latency (ms)", "p50", "p99");
@@ -287,9 +328,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.requests_refused),
                 static_cast<unsigned long long>(stats.programs_registered),
                 static_cast<unsigned long long>(metrics.coalesced_requests));
+    std::printf("resilience: %llu reconnects, %llu resends, %llu shed (gate: 0 shed -> %s)\n",
+                static_cast<unsigned long long>(reconnects),
+                static_cast<unsigned long long>(resends),
+                static_cast<unsigned long long>(metrics.requests_shed),
+                shed_gate_ok ? "ok" : "FAIL");
   }
 
   server.shutdown();
   serving.close();
-  return gate_ok ? 0 : 1;
+  return gate_ok && shed_gate_ok ? 0 : 1;
 }

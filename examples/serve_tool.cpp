@@ -6,7 +6,9 @@
 //     response is checked against the expected arithmetic — then drains and
 //     shuts down gracefully; or
 //   * --listen: keeps serving external wire-protocol clients until stdin
-//     reaches EOF (pipe or Ctrl-D), then drains and shuts down.
+//     reaches EOF (pipe or Ctrl-D) or a SIGINT/SIGTERM arrives, then
+//     drains in-flight requests and shuts down gracefully — Ctrl-C never
+//     drops an accepted request on the floor.
 //
 //   $ ./examples/serve_tool [--port P] [--requests N] [--waves N] [--listen]
 //
@@ -14,7 +16,9 @@
 // either way. All numeric arguments go through io::parse_count, so a typo'd
 // or hostile argv value fails with a named error instead of wrapping.
 
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <random>
 #include <string>
@@ -143,6 +147,22 @@ int run_demo_client(net::wire_server& server, const tool_options& opts) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop = 1; }
+
+/// Installs SIGINT/SIGTERM handlers WITHOUT SA_RESTART: the blocking
+/// getchar() in the listen loop must come back with EINTR so the loop can
+/// notice g_stop and begin the graceful drain instead of dying mid-request.
+void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,11 +183,33 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   if (opts.listen) {
-    std::printf("listening; EOF on stdin shuts down\n");
+    install_stop_handlers();
+    std::printf("listening; EOF on stdin or SIGINT/SIGTERM shuts down\n");
     std::fflush(stdout);
-    // Block until the controlling pipe/terminal closes, then drain.
-    for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+    // Block until the controlling pipe/terminal closes or a stop signal
+    // lands. A signal interrupts getchar() with EINTR; anything else that
+    // looks like EOF without g_stop set (for instance stdin closed) ends
+    // the loop the same way it always has.
+    for (;;) {
+      const int c = std::getchar();
+      if (c != EOF) {
+        continue;
+      }
+      if (g_stop) {
+        std::printf("\nstop signal received; draining\n");
+        std::fflush(stdout);
+        break;
+      }
+      if (errno == EINTR) {
+        clearerr(stdin);
+        continue;
+      }
+      break;  // genuine EOF
     }
+    // Refuse new work but let every accepted request finish and flush
+    // before the sockets come down.
+    server.begin_drain();
+    serving.drain();
   } else {
     rc = run_demo_client(server, opts);
   }

@@ -50,6 +50,10 @@ public:
       : std::runtime_error{"serving_session: admission rejected (" +
                            std::to_string(pending) + " pending >= bound " +
                            std::to_string(bound) + ")"} {}
+  /// Load-shedding variant: the session is overloaded (see shed_policy) and
+  /// this request's priority class is the one being shed.
+  explicit admission_rejected_error(const std::string& what)
+      : std::runtime_error{what} {}
 };
 
 /// Surfaced through the future/callback of a request whose deadline passed
@@ -97,6 +101,27 @@ struct submit_options {
   std::shared_ptr<const tech_scenario> scenario;
 };
 
+/// Overload load-shedding policy (set_shed_policy). When the session looks
+/// overloaded — the queue is at least `queue_depth` requests deep, or the
+/// recent queue-wait p99 exceeds `queue_wait_p99_ms` — submissions whose
+/// priority byte is `min_priority` or worse (higher) are rejected with
+/// admission_rejected_error *before* they consume a queue slot, so the
+/// high-priority traffic that can still meet its deadlines keeps flowing.
+/// Unlike the admission limit (a hard backlog cap for everyone), shedding
+/// is selective: best-effort traffic pays for the overload first. A
+/// default-constructed policy (both thresholds zero) disables shedding.
+struct shed_policy {
+  /// Queue depth at which the session counts as overloaded; 0 = ignore.
+  std::size_t queue_depth{0};
+  /// Recent queue-wait p99 (milliseconds, over the last ~128 dispatched
+  /// requests) above which the session counts as overloaded; 0 = ignore.
+  double queue_wait_p99_ms{0.0};
+  /// Priority bytes >= this are shed while overloaded. The default 192
+  /// sheds the bottom quarter of the priority space and never touches the
+  /// neutral default (128).
+  std::uint8_t min_priority{192};
+};
+
 /// Completion callback of the async serving API. Exactly one of the two
 /// arguments is meaningful: on success `error` is null and `result` carries
 /// the packed outputs; on failure (e.g. an incoherent netlist or a
@@ -120,6 +145,9 @@ struct serving_metrics {
   /// Submissions refused by admission control (admission_rejected_error
   /// thrown from submit; never accepted, so disjoint from the above).
   std::uint64_t requests_rejected{0};
+  /// Submissions shed by the overload policy (a subset of
+  /// requests_rejected: every shed is also counted there).
+  std::uint64_t requests_shed{0};
   /// Requests failed because their deadline passed before dispatch (a
   /// subset of requests_failed).
   std::uint64_t requests_expired{0};
@@ -282,6 +310,14 @@ public:
   void set_admission_limit(std::size_t max_pending);
   [[nodiscard]] std::size_t admission_limit() const;
 
+  /// Overload shedding (see shed_policy): while the queue depth or the
+  /// recent queue-wait p99 crosses its threshold, submissions at or below
+  /// the policy's priority floor throw admission_rejected_error (counted in
+  /// metrics().requests_shed). Safe to adjust while the session is serving;
+  /// the default (zero) policy disables shedding.
+  void set_shed_policy(shed_policy policy);
+  [[nodiscard]] shed_policy get_shed_policy() const;
+
   /// Blocks until every request accepted so far completed. New submissions
   /// remain allowed (and may keep `drain` from returning if they keep
   /// arriving).
@@ -404,6 +440,13 @@ private:
   std::size_t admission_limit_{0};
   bool closed_{false};
   serving_metrics metrics_;
+  shed_policy shed_policy_{};
+  /// Ring of the most recent queue waits (ms), feeding the cached p99 the
+  /// shed check reads — O(1) per submission, recomputed every few samples.
+  std::vector<double> recent_waits_;
+  std::size_t recent_at_{0};
+  std::size_t samples_since_p99_{0};
+  double cached_wait_p99_ms_{0.0};
   std::vector<double> queue_wait_samples_;
   struct fp_memo_entry {
     std::weak_ptr<const mig_network> net;

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wavemig::fault {
+
+/// @name Fault injection
+///
+/// A registry of named fault points threaded through the layers that can
+/// fail in production — sockets, the wire server, the serving dispatcher,
+/// the executor. Each site is a `WAVEMIG_FAULT_HIT("name")` check at the
+/// spot where a real failure would surface; armed sites make the site take
+/// the failure path (error return, delay, partial I/O, stall) under a
+/// configurable trigger, so the chaos suite can pin exact recovery
+/// behavior instead of waiting for the failure to happen in the wild.
+///
+/// Cost model:
+/// * Compiled out (WAVEMIG_FAULT_INJECTION undefined — what production
+///   builds use via -DWAVEMIG_ENABLE_FAULT_INJECTION=OFF): every site
+///   expands to an empty constant `fault_result`, so the checks fold away
+///   entirely. The registry API below still links (tests can call it), it
+///   just never affects any code path.
+/// * Compiled in but nothing armed: one relaxed atomic load per site.
+/// * Armed: a mutex-guarded lookup on the (already failing) path.
+///
+/// Probability triggers draw from one registry-wide PRNG seeded from the
+/// `WAVEMIG_FAULT_SEED` environment variable (decimal; unset = a fixed
+/// default), so a chaos run that found a bug reproduces from its logged
+/// seed.
+///
+/// Site names wired through the tree (see README "Resilience"):
+///   socket.read.reset      read reports end-of-stream (ECONNRESET-like)
+///   socket.read.short      a byte prefix is read, then end-of-stream
+///   socket.read.eintr      one simulated interrupted read (loop retries)
+///   socket.write.error     write throws (EPIPE-like)
+///   socket.write.short     a byte prefix is written, then the write throws
+///   socket.accept.abort    the accepted fd is closed (ECONNABORTED-like)
+///   socket.connect.fail    connect throws before dialing
+///   server.reader.die      a connection's reader thread exits its loop
+///   server.writer.stall    the writer sleeps before each write (slow client)
+///   server.writer.die      the writer drops responses (write-side death)
+///   serving.dispatcher.stall  a dispatcher sleeps before gulping
+///   serving.dispatcher.throw  request preparation throws on the dispatcher
+///   serving.callback.drop  a request's completion callback is lost
+///   executor.worker.stall  a worker sleeps before running a task
+///   executor.steal.delay   a thief sleeps before stealing (steal race)
+/// @{
+
+/// What an armed site does when its trigger fires. Sites interpret the
+/// action in their own failure vocabulary — a socket read "fails" by
+/// returning end-of-stream, a dispatcher by throwing; `delay` and `stall`
+/// both sleep (stall is just a long delay by convention); `partial_io`
+/// processes at most `max_bytes` then fails.
+enum class fault_action : std::uint8_t {
+  fail = 0,
+  delay = 1,
+  partial_io = 2,
+  stall = 3,
+};
+
+/// How an armed site decides whether a given hit fires. All three triggers
+/// compose: a hit is eligible every `every_nth` calls, then fires with
+/// `probability`; `one_shot` disarms the site after its first firing.
+struct fault_config {
+  fault_action action{fault_action::fail};
+  double probability{1.0};     ///< chance an eligible hit fires
+  std::uint64_t every_nth{1};  ///< eligible on every Nth hit (1 = every hit)
+  bool one_shot{false};        ///< disarm after the first firing
+  std::chrono::milliseconds delay{0};  ///< sleep for delay/stall actions
+  std::size_t max_bytes{0};            ///< partial_io bound (0 = 1 byte)
+};
+
+/// Outcome of one site check. `fired == false` (the default) means take the
+/// normal path; the remaining fields echo the armed config so the site
+/// doesn't need a second registry round trip.
+struct fault_result {
+  bool fired{false};
+  fault_action action{fault_action::fail};
+  std::chrono::milliseconds delay{0};
+  std::size_t max_bytes{0};
+};
+
+/// Arms `site` with `config` (replacing any previous arming).
+void arm(const std::string& site, fault_config config);
+/// Disarms one site / every site. Counters survive disarming.
+void disarm(const std::string& site);
+void disarm_all();
+/// Times the named site's trigger actually fired (monotonic per arm()).
+[[nodiscard]] std::uint64_t fire_count(const std::string& site);
+/// Times the named site was hit (armed or not — hits are only counted
+/// while the site is armed, so tests can pin exact hit/fire ratios).
+[[nodiscard]] std::uint64_t hit_count(const std::string& site);
+/// The PRNG seed in effect (WAVEMIG_FAULT_SEED or the fixed default).
+[[nodiscard]] std::uint64_t seed();
+/// Names of the currently armed sites (diagnostics).
+[[nodiscard]] std::vector<std::string> armed_sites();
+
+namespace detail {
+extern std::atomic<std::size_t> armed_count;
+}  // namespace detail
+
+/// True while at least one site is armed — the only check a hot path pays.
+[[nodiscard]] inline bool enabled() {
+  return detail::armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// The slow half of a site check: looks the site up, applies its trigger,
+/// sleeps for delay/stall actions itself (so most sites need no further
+/// logic), and reports what fired. Only called when `enabled()`.
+[[nodiscard]] fault_result hit(const char* site);
+
+/// @}
+
+}  // namespace wavemig::fault
+
+/// The per-site check. Compiled out it is a constant empty result — the
+/// branch on `.fired` folds away; compiled in it costs one relaxed load
+/// until a site is armed.
+#if defined(WAVEMIG_FAULT_INJECTION)
+#define WAVEMIG_FAULT_HIT(site)                                    \
+  (::wavemig::fault::enabled() ? ::wavemig::fault::hit(site)       \
+                               : ::wavemig::fault::fault_result{})
+#else
+#define WAVEMIG_FAULT_HIT(site) (::wavemig::fault::fault_result{})
+#endif

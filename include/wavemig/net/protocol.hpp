@@ -70,6 +70,13 @@ enum class wire_status : std::uint8_t {
   draining = 6,            ///< server is draining; request refused
   deadline_expired = 7,    ///< deadline passed before dispatch
   internal_error = 8,
+  /// The server's watchdog failed the request: it exceeded the hard
+  /// wall-clock bound (server_options::watchdog_bound) without completing,
+  /// so the server answered for it and released its connection slot. The
+  /// request may still finish internally — its late result is discarded.
+  /// New in protocol revision 9; older clients reject it as an unknown
+  /// status, which closes the connection (see README "Resilience").
+  watchdog_expired = 9,
 };
 
 [[nodiscard]] const char* to_string(wire_status status);

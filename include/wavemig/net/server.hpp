@@ -1,6 +1,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -26,6 +28,15 @@ struct server_options {
   std::size_t max_frame_bytes{std::size_t{64} << 20};
   /// Accept backlog of the listening socket.
   int listen_backlog{64};
+  /// Hard wall-clock bound on one accepted run request, measured from
+  /// submission. A request that has not completed inside the bound is
+  /// answered `wire_status::watchdog_expired` by a watchdog thread and its
+  /// connection slot released — the engine may still finish it internally,
+  /// but the late result is discarded. Zero (the default) disables the
+  /// watchdog. Set it well above the p99 of your largest request: this is
+  /// a leak-stopper for lost completions, not a scheduling deadline (use
+  /// `run_request::deadline_ms` for that).
+  std::chrono::milliseconds watchdog_bound{0};
 };
 
 /// Monotonic counters of a server's lifetime.
@@ -34,6 +45,8 @@ struct server_stats {
   std::uint64_t requests_ok{0};       ///< responses written with status ok
   std::uint64_t requests_refused{0};  ///< responses with any non-ok status
   std::uint64_t programs_registered{0};
+  /// Requests the watchdog answered for (also counted in requests_refused).
+  std::uint64_t requests_watchdog_expired{0};
 };
 
 /// The socket front-end over a `serving_session`: accepts loopback TCP
@@ -89,7 +102,18 @@ public:
 private:
   struct connection;
 
+  /// One run request under watchdog supervision. `settled` is the
+  /// exactly-once latch between the completion callback and the watchdog:
+  /// whoever exchanges it to true answers the request; the loser discards.
+  struct watch_entry {
+    std::shared_ptr<connection> conn;
+    std::uint64_t id{0};
+    std::chrono::steady_clock::time_point expires;
+    std::shared_ptr<std::atomic<bool>> settled;
+  };
+
   void accept_loop();
+  void watchdog_loop();
   void reader_loop(const std::shared_ptr<connection>& conn);
   void writer_loop(const std::shared_ptr<connection>& conn);
   /// Serves one decoded run request: resolves program + scenario, builds
@@ -120,8 +144,14 @@ private:
   server_stats stats_;
   std::uint64_t next_client_id_{1};
 
+  std::mutex watch_mutex_;  // watched_, watch_stop_
+  std::condition_variable watch_cv_;
+  std::vector<watch_entry> watched_;
+  bool watch_stop_{false};
+
   std::mutex shutdown_mutex_;  // serializes shutdown() callers
   std::thread accept_thread_;
+  std::thread watchdog_thread_;
 };
 
 }  // namespace wavemig::net

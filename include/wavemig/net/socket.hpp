@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -41,6 +42,12 @@ public:
   /// Writes exactly `size` bytes or throws socket_error (a closed peer
   /// surfaces as EPIPE — signals are suppressed, not raised).
   void write_all(const void* data, std::size_t size);
+
+  /// Bounds every subsequent blocking read: a read that makes no progress
+  /// for `timeout` throws socket_error ("recv: timed out"). Zero restores
+  /// the unbounded default. A timed-out stream may sit mid-frame — callers
+  /// (the client's retry loop) discard the connection rather than resync.
+  void set_receive_timeout(std::chrono::milliseconds timeout);
 
   /// Shuts down both directions without closing the fd: any thread blocked
   /// in read_exact on this socket returns end-of-stream. The unblocking

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "block_splice.hpp"
+#include "wavemig/fault/fault_injection.hpp"
 #include "wavemig/pipeline.hpp"
 
 namespace wavemig::engine {
@@ -122,6 +123,10 @@ bool parallel_executor::next_item(unsigned worker, task_item& item) {
     // Empty: steal a whole item (one plane-block of a group, or one plain
     // task) from the back of a victim — the work farthest from where the
     // victim is currently progressing.
+    // executor.steal.delay (delay action, sleeps inside hit()): widens the
+    // own-empty → steal race window so chaos runs exercise interleavings a
+    // quiet machine rarely produces.
+    (void)WAVEMIG_FAULT_HIT("executor.steal.delay");
     for (std::size_t i = 1; i < num_workers; ++i) {
       auto& victim = *deques_[(worker + i) % num_workers];
       std::lock_guard<std::mutex> lock{victim.mutex};
@@ -149,6 +154,10 @@ bool parallel_executor::next_item(unsigned worker, task_item& item) {
 }
 
 void parallel_executor::run_item(task_item& item, unsigned worker) {
+  // executor.worker.stall (delay/stall action, sleeps inside hit()): one
+  // worker goes dark mid-pass; stealing must keep the rest of the group
+  // progressing and the result bit-identical.
+  (void)WAVEMIG_FAULT_HIT("executor.worker.stall");
   if (!item.group) {
     item.fn(worker);  // plain tasks must not throw (documented contract)
     return;

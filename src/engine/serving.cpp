@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "block_splice.hpp"
+#include "wavemig/fault/fault_injection.hpp"
 
 namespace wavemig::engine {
 
@@ -42,6 +43,24 @@ void serving_session::enqueue(request req) {
     if (admission_limit_ != 0 && backlog >= admission_limit_) {
       ++metrics_.requests_rejected;
       throw admission_rejected_error{backlog, admission_limit_};
+    }
+    // Load shedding: while the session looks overloaded (queue depth or
+    // recent queue-wait p99 over its threshold), requests at or below the
+    // policy's priority floor are rejected before consuming a slot, so the
+    // traffic that can still meet its deadlines keeps flowing.
+    const bool overloaded =
+        (shed_policy_.queue_depth != 0 && queue_.size() >= shed_policy_.queue_depth) ||
+        (shed_policy_.queue_wait_p99_ms > 0.0 &&
+         cached_wait_p99_ms_ > shed_policy_.queue_wait_p99_ms);
+    if (overloaded && req.opts.priority >= shed_policy_.min_priority) {
+      ++metrics_.requests_rejected;
+      ++metrics_.requests_shed;
+      throw admission_rejected_error{
+          "serving_session: shed under overload (queue " +
+          std::to_string(queue_.size()) + " deep, recent wait p99 " +
+          std::to_string(cached_wait_p99_ms_) + " ms, priority " +
+          std::to_string(req.opts.priority) + " >= shed floor " +
+          std::to_string(shed_policy_.min_priority) + ")"};
     }
     ++metrics_.requests_accepted;
     queue_.push_back(std::move(req));
@@ -284,6 +303,10 @@ std::uint64_t serving_session::fingerprint_of(
 
 void serving_session::dispatcher_loop() {
   for (;;) {
+    // serving.dispatcher.stall (delay action, sleeps inside hit()): one
+    // dispatcher stops draining for a while, as if wedged on a slow
+    // compile — the backlog this builds is what load shedding reacts to.
+    (void)WAVEMIG_FAULT_HIT("serving.dispatcher.stall");
     std::vector<request> gulp;
     {
       std::unique_lock<std::mutex> lock{mutex_};
@@ -389,11 +412,29 @@ std::vector<serving_session::request> serving_session::take_gulp_locked() {
 void serving_session::process_gulp(std::vector<request> gulp) {
   const auto now = std::chrono::steady_clock::now();
   {
+    constexpr std::size_t recent_wait_window = 128;
+    constexpr std::size_t p99_refresh_interval = 32;
     std::lock_guard<std::mutex> lock{mutex_};
     for (const request& req : gulp) {
+      const double wait_ms =
+          std::chrono::duration<double, std::milli>(now - req.enqueued).count();
       if (queue_wait_samples_.size() < max_queue_wait_samples) {
-        queue_wait_samples_.push_back(
-            std::chrono::duration<double, std::milli>(now - req.enqueued).count());
+        queue_wait_samples_.push_back(wait_ms);
+      }
+      // The shed check's p99 source: a small ring of the latest waits,
+      // re-sorted every few samples so submissions read a cached double
+      // instead of sorting anything.
+      if (recent_waits_.size() < recent_wait_window) {
+        recent_waits_.push_back(wait_ms);
+      } else {
+        recent_waits_[recent_at_] = wait_ms;
+        recent_at_ = (recent_at_ + 1) % recent_wait_window;
+      }
+      if (++samples_since_p99_ >= p99_refresh_interval) {
+        samples_since_p99_ = 0;
+        std::vector<double> sorted = recent_waits_;
+        std::sort(sorted.begin(), sorted.end());
+        cached_wait_p99_ms_ = sorted[std::min(sorted.size() - 1, sorted.size() * 99 / 100)];
       }
     }
   }
@@ -417,6 +458,11 @@ void serving_session::process_gulp(std::vector<request> gulp) {
       if (req.opts.deadline != std::chrono::steady_clock::time_point{} &&
           now >= req.opts.deadline) {
         throw deadline_expired_error{};
+      }
+      if (WAVEMIG_FAULT_HIT("serving.dispatcher.throw").fired) {
+        // An unexpected dispatcher-side failure: must fail only this
+        // request (internal_error on the wire), never its gulp-mates.
+        throw std::runtime_error{"injected dispatcher fault (serving.dispatcher.throw)"};
       }
       if (req.packed) {
         // Zero-copy adoption of the caller's plane-major words. Shape
@@ -639,8 +685,11 @@ void serving_session::finish_unit(const std::shared_ptr<exec_unit>& unit,
     }
     // Callbacks fire before the members retire from active_, so a drain()
     // racing a callback's follow-up submit never observes a false idle.
+    // serving.callback.drop: the completion callback is silently lost —
+    // the failure mode the server's watchdog exists to recover from.
+    const bool drop = WAVEMIG_FAULT_HIT("serving.callback.drop").fired;
     try {
-      if (req.done) {
+      if (req.done && !drop) {
         req.done(std::move(result), error);
       }
     } catch (...) {
@@ -678,6 +727,16 @@ void serving_session::set_admission_limit(std::size_t max_pending) {
 std::size_t serving_session::admission_limit() const {
   std::lock_guard<std::mutex> lock{mutex_};
   return admission_limit_;
+}
+
+void serving_session::set_shed_policy(shed_policy policy) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  shed_policy_ = policy;
+}
+
+shed_policy serving_session::get_shed_policy() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return shed_policy_;
 }
 
 void serving_session::drain() {

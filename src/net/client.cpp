@@ -1,6 +1,9 @@
 #include "wavemig/net/client.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <sstream>
+#include <thread>
 
 #include "wavemig/io/mig_format.hpp"
 
@@ -14,7 +17,7 @@ constexpr std::size_t max_response_bytes = std::size_t{1} << 30;
 
 }  // namespace
 
-wire_client wire_client::connect(std::uint16_t port, const std::string& host) {
+tcp_socket wire_client::dial(const std::string& host, std::uint16_t port) {
   tcp_socket sock = tcp_socket::connect(host, port);
   std::vector<std::uint8_t> preamble;
   {
@@ -31,7 +34,51 @@ wire_client wire_client::connect(std::uint16_t port, const std::string& host) {
   if (r.u32() != wire_magic || r.u32() != wire_version) {
     throw protocol_error{"wire: server preamble mismatch"};
   }
-  return wire_client{std::move(sock)};
+  return sock;
+}
+
+wire_client wire_client::connect(std::uint16_t port, const std::string& host) {
+  return wire_client{dial(host, port), host, port};
+}
+
+void wire_client::set_retry_policy(retry_policy policy) {
+  policy_ = policy;
+  if (sock_.valid()) {
+    sock_.set_receive_timeout(policy_.try_timeout);
+  }
+}
+
+void wire_client::reconnect() {
+  sock_ = dial(host_, port_);
+  if (policy_.try_timeout.count() > 0) {
+    sock_.set_receive_timeout(policy_.try_timeout);
+  }
+  ++stats_.reconnects;
+  // Replay every tracked request whose response never arrived. Runs are
+  // pure functions of their payload, so the server executing a replay (even
+  // when the original also executed, its response lost) is harmless — the
+  // answer is bit-identical either way.
+  for (const auto& [id, req] : unanswered_) {
+    write_request(req);
+    ++stats_.resends;
+  }
+}
+
+void wire_client::write_request(const run_request& req) {
+  const auto prefix = encode_run_frame_prefix(req);
+  sock_.write_all(prefix.data(), prefix.size());
+  if (req.payload.empty()) {
+    return;
+  }
+  if constexpr (std::endian::native == std::endian::little) {
+    // Wire order is native order: the tracked payload goes out as-is, no
+    // copy, and stays intact for the next replay.
+    sock_.write_all(req.payload.data(), req.payload.size() * sizeof(std::uint64_t));
+  } else {
+    std::vector<std::uint64_t> wire_words = req.payload;
+    words_to_wire(wire_words.data(), wire_words.size());
+    sock_.write_all(wire_words.data(), wire_words.size() * sizeof(std::uint64_t));
+  }
 }
 
 std::uint64_t wire_client::register_netlist(const std::string& mig_text) {
@@ -117,7 +164,7 @@ wire_response wire_client::receive_from_socket() {
   wire_response resp;
   resp.id = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(wire_status::internal_error)) {
+  if (status > static_cast<std::uint8_t>(wire_status::watchdog_expired)) {
     throw protocol_error{"wire: unknown response status"};
   }
   resp.status = static_cast<wire_status>(status);
@@ -171,8 +218,48 @@ wire_response wire_client::receive_from_socket() {
 }
 
 wire_response wire_client::run(run_request req) {
-  const std::uint64_t id = send(std::move(req));
-  return receive_matching(id);
+  if (policy_.max_attempts <= 1) {
+    // Non-retrying fast path: identical to the pre-policy client, payload
+    // swapped to wire order in place — no tracking copy exists.
+    const std::uint64_t id = send(std::move(req));
+    return receive_matching(id);
+  }
+
+  if (req.id == 0) {
+    req.id = next_id_++;
+  }
+  const std::uint64_t id = req.id;
+  unanswered_.emplace(id, std::move(req));
+  for (unsigned attempt = 1;; ++attempt) {
+    try {
+      if (!sock_.valid()) {
+        reconnect();  // replays every unanswered request, this one included
+      } else if (attempt == 1) {
+        write_request(unanswered_.at(id));
+      }
+      wire_response resp = receive_matching(id);
+      unanswered_.erase(id);
+      return resp;
+    } catch (const socket_error& e) {
+      // The connection is unusable (reset, timed out mid-frame, or the
+      // reconnect itself failed): discard it and back off before redialing.
+      // Stashed responses were fully received and stay valid; the dead
+      // stream's partial bytes died with the socket.
+      sock_.close();
+      if (attempt >= policy_.max_attempts) {
+        unanswered_.erase(id);
+        throw;
+      }
+      const unsigned shift = std::min(attempt - 1, 20u);
+      const auto backoff = std::min<std::chrono::milliseconds::rep>(
+          policy_.max_backoff.count(), policy_.base_backoff.count() << shift);
+      if (backoff > 0) {
+        std::uniform_real_distribution<double> jitter{0.5, 1.0};
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>{
+            static_cast<double>(backoff) * jitter(jitter_)});
+      }
+    }
+  }
 }
 
 }  // namespace wavemig::net

@@ -38,6 +38,7 @@ const char* to_string(wire_status status) {
     case wire_status::draining: return "draining";
     case wire_status::deadline_expired: return "deadline_expired";
     case wire_status::internal_error: return "internal_error";
+    case wire_status::watchdog_expired: return "watchdog_expired";
   }
   return "unknown_status";
 }
@@ -228,7 +229,7 @@ wire_response decode_response_body(const std::uint8_t* body, std::size_t size) {
   wire_response out;
   out.id = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(wire_status::internal_error)) {
+  if (status > static_cast<std::uint8_t>(wire_status::watchdog_expired)) {
     throw protocol_error{"wire: unknown response status"};
   }
   out.status = static_cast<wire_status>(status);

@@ -1,9 +1,11 @@
 #include "wavemig/net/server.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <sstream>
 
+#include "wavemig/fault/fault_injection.hpp"
 #include "wavemig/io/mig_format.hpp"
 #include "wavemig/technology.hpp"
 
@@ -51,6 +53,9 @@ wire_server::wire_server(engine::serving_session& session, server_options option
       options_{options},
       listener_{tcp_listener::listen_loopback(options.port, options.listen_backlog)} {
   accept_thread_ = std::thread{[this] { accept_loop(); }};
+  if (options_.watchdog_bound.count() > 0) {
+    watchdog_thread_ = std::thread{[this] { watchdog_loop(); }};
+  }
 }
 
 wire_server::~wire_server() { shutdown(); }
@@ -90,6 +95,69 @@ void wire_server::shutdown() {
   {
     std::lock_guard<std::mutex> lock{mutex_};
     connections_.clear();
+  }
+  // The watchdog joins *after* the readers: a reader's final flush waits
+  // for inflight == 0, and when a completion was lost it is the watchdog
+  // that expires the request and releases that count.
+  {
+    std::lock_guard<std::mutex> lock{watch_mutex_};
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  if (watchdog_thread_.joinable()) {
+    watchdog_thread_.join();
+  }
+}
+
+void wire_server::watchdog_loop() {
+  // Scan at a quarter of the bound so an expired request is answered at
+  // most ~25% late, clamped so tight test bounds don't busy-spin and huge
+  // production bounds still notice shutdown promptly.
+  const auto interval = std::clamp(options_.watchdog_bound / 4,
+                                   std::chrono::milliseconds{1},
+                                   std::chrono::milliseconds{250});
+  std::unique_lock<std::mutex> lock{watch_mutex_};
+  while (!watch_stop_) {
+    watch_cv_.wait_for(lock, interval, [&] { return watch_stop_; });
+    if (watch_stop_) {
+      break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<watch_entry> expired;
+    for (auto it = watched_.begin(); it != watched_.end();) {
+      if (it->settled->load(std::memory_order_acquire)) {
+        it = watched_.erase(it);  // answered normally; nothing to watch
+        continue;
+      }
+      if (now >= it->expires) {
+        // Win the latch or lose it to a completion racing us right now;
+        // only the winner answers.
+        if (!it->settled->exchange(true, std::memory_order_acq_rel)) {
+          expired.push_back(std::move(*it));
+        }
+        it = watched_.erase(it);
+        continue;
+      }
+      ++it;
+    }
+    lock.unlock();
+    for (const auto& entry : expired) {
+      // Stats first: once the client can observe the watchdog_expired
+      // response, stats() must already account for it.
+      {
+        std::lock_guard<std::mutex> stats_lock{mutex_};
+        ++stats_.requests_refused;
+        ++stats_.requests_watchdog_expired;
+      }
+      respond_status(entry.conn, entry.id, wire_status::watchdog_expired,
+                     "request exceeded the server watchdog bound");
+      {
+        std::lock_guard<std::mutex> conn_lock{entry.conn->mutex};
+        --entry.conn->inflight;
+      }
+      entry.conn->cv.notify_all();
+    }
+    lock.lock();
   }
 }
 
@@ -134,6 +202,14 @@ void wire_server::writer_loop(const std::shared_ptr<connection>& conn) {
       out = std::move(conn->outbox.front());
       conn->outbox.pop_front();
     }
+    // server.writer.die: the writer silently stops transmitting, as if its
+    // thread had crashed mid-stream — the client's per-try timeout is what
+    // recovers. server.writer.stall (delay action) sleeps inside hit(),
+    // modelling a slow-consumer backlog.
+    if (WAVEMIG_FAULT_HIT("server.writer.die").fired) {
+      conn->write_failed = true;
+    }
+    (void)WAVEMIG_FAULT_HIT("server.writer.stall");
     if (conn->write_failed) {
       continue;  // client is gone; keep draining queued responses cheaply
     }
@@ -293,6 +369,15 @@ void wire_server::serve_run(const std::shared_ptr<connection>& conn, run_request
     std::lock_guard<std::mutex> lock{conn->mutex};
     ++conn->inflight;
   }
+  // Under a watchdog, register the request *before* submitting: once
+  // submit_packed is called, a lost completion can only be recovered here.
+  std::shared_ptr<std::atomic<bool>> settled;
+  if (options_.watchdog_bound.count() > 0) {
+    settled = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lock{watch_mutex_};
+    watched_.push_back(watch_entry{
+        conn, id, std::chrono::steady_clock::now() + options_.watchdog_bound, settled});
+  }
   auto retire = [conn](wire_response resp) {
     connection::outgoing out;
     out.prefix = encode_response_frame_prefix(resp);
@@ -309,8 +394,13 @@ void wire_server::serve_run(const std::shared_ptr<connection>& conn, run_request
     session_.submit_packed(
         std::move(net), std::move(req.payload), static_cast<std::size_t>(req.num_waves),
         req.phases, std::move(opts),
-        [this, conn, id, fingerprint, retire](engine::packed_wave_result result,
-                                              std::exception_ptr error) {
+        [this, conn, id, fingerprint, retire, settled](engine::packed_wave_result result,
+                                                       std::exception_ptr error) {
+          if (settled && settled->exchange(true, std::memory_order_acq_rel)) {
+            // The watchdog already answered (and released the inflight
+            // count) for this request; the late result is discarded.
+            return;
+          }
           wire_response resp;
           resp.id = id;
           resp.fingerprint = fingerprint;
@@ -338,6 +428,9 @@ void wire_server::serve_run(const std::shared_ptr<connection>& conn, run_request
           retire(std::move(resp));
         });
   } catch (const engine::admission_rejected_error& e) {
+    if (settled && settled->exchange(true, std::memory_order_acq_rel)) {
+      return;  // the watchdog answered first; it already released inflight
+    }
     {
       std::lock_guard<std::mutex> lock{conn->mutex};
       --conn->inflight;
@@ -345,6 +438,9 @@ void wire_server::serve_run(const std::shared_ptr<connection>& conn, run_request
     respond_status(conn, id, wire_status::admission_rejected, e.what());
     count_response(wire_status::admission_rejected);
   } catch (const engine::session_closed_error& e) {
+    if (settled && settled->exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
     {
       std::lock_guard<std::mutex> lock{conn->mutex};
       --conn->inflight;
@@ -352,6 +448,9 @@ void wire_server::serve_run(const std::shared_ptr<connection>& conn, run_request
     respond_status(conn, id, wire_status::draining, e.what());
     count_response(wire_status::draining);
   } catch (const std::exception& e) {
+    if (settled && settled->exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
     {
       std::lock_guard<std::mutex> lock{conn->mutex};
       --conn->inflight;
@@ -396,6 +495,12 @@ void wire_server::reader_loop(const std::shared_ptr<connection>& conn) {
   };
 
   while (alive) {
+    // server.reader.die: the reader exits as if its thread had crashed.
+    // The flush below still runs — in-flight responses reach the client
+    // before the close, so a retrying client loses at most unsent frames.
+    if (WAVEMIG_FAULT_HIT("server.reader.die").fired) {
+      break;
+    }
     std::uint8_t len_bytes[4];
     if (!conn->sock.read_exact(len_bytes, sizeof len_bytes)) {
       break;  // clean disconnect (or truncated frame: nothing to answer)

@@ -3,13 +3,20 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
+#include <limits>
+#include <thread>
 #include <utility>
+
+#include "wavemig/fault/fault_injection.hpp"
 
 namespace wavemig::net {
 
@@ -17,6 +24,19 @@ namespace {
 
 [[noreturn]] void throw_errno(const char* what) {
   throw socket_error{std::string{what} + ": " + std::strerror(errno)};
+}
+
+/// Process-wide SIGPIPE suppression, installed once by the first socket
+/// created in this process. MSG_NOSIGNAL already covers our send() calls;
+/// this is the belt to that suspender — a dead peer must never be able to
+/// kill the server through a signal delivered on a path that forgot the
+/// flag (or through a platform where the flag is a no-op).
+void ignore_sigpipe() {
+  static const bool installed = [] {
+    (void)std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
 }
 
 }  // namespace
@@ -36,6 +56,10 @@ tcp_socket& tcp_socket::operator=(tcp_socket&& other) noexcept {
 }
 
 tcp_socket tcp_socket::connect(const std::string& host, std::uint16_t port) {
+  ignore_sigpipe();
+  if (const auto f = WAVEMIG_FAULT_HIT("socket.connect.fail"); f.fired) {
+    throw socket_error{"connect: injected fault (socket.connect.fail)"};
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     throw_errno("socket");
@@ -49,7 +73,32 @@ tcp_socket tcp_socket::connect(const std::string& host, std::uint16_t port) {
     throw socket_error{"inet_pton: invalid IPv4 address '" + host + "'"};
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    throw_errno("connect");
+    if (errno != EINTR) {
+      throw_errno("connect");
+    }
+    // EINTR: POSIX leaves the connection attempt in flight — retrying
+    // connect() is undefined. Poll for writability, then read the outcome
+    // from SO_ERROR.
+    for (;;) {
+      pollfd p{fd, POLLOUT, 0};
+      const int r = ::poll(&p, 1, -1);
+      if (r < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        throw_errno("poll");
+      }
+      int err = 0;
+      socklen_t len = sizeof err;
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        throw_errno("getsockopt");
+      }
+      if (err != 0) {
+        errno = err;
+        throw_errno("connect");
+      }
+      break;
+    }
   }
   // Frames are written whole (prefix + payload back to back); Nagle only
   // adds latency between them.
@@ -58,13 +107,44 @@ tcp_socket tcp_socket::connect(const std::string& host, std::uint16_t port) {
   return sock;
 }
 
+void tcp_socket::set_receive_timeout(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
 bool tcp_socket::read_exact(void* data, std::size_t size) {
+  if (const auto f = WAVEMIG_FAULT_HIT("socket.read.reset"); f.fired) {
+    return false;  // as if the peer reset mid-stream
+  }
+  std::size_t inject_short_after = size;
+  if (const auto f = WAVEMIG_FAULT_HIT("socket.read.short"); f.fired) {
+    // A byte prefix arrives, then the stream "dies": the short-read shape a
+    // peer crashing mid-frame produces.
+    inject_short_after = std::min(size, f.max_bytes == 0 ? 1 : f.max_bytes);
+  }
+  bool inject_eintr = WAVEMIG_FAULT_HIT("socket.read.eintr").fired;
   auto* at = static_cast<std::uint8_t*>(data);
   while (size > 0) {
-    const ssize_t got = ::recv(fd_, at, size, 0);
+    if (inject_eintr) {
+      // One simulated interrupted recv: the loop must retry, not surface a
+      // spurious error (what the EINTR branch below pins).
+      inject_eintr = false;
+      continue;
+    }
+    if (inject_short_after == 0) {
+      return false;
+    }
+    const ssize_t got = ::recv(fd_, at, std::min(size, inject_short_after), 0);
     if (got > 0) {
       at += got;
       size -= static_cast<std::size_t>(got);
+      if (inject_short_after != std::numeric_limits<std::size_t>::max()) {
+        inject_short_after -= std::min(inject_short_after, static_cast<std::size_t>(got));
+      }
       continue;
     }
     if (got == 0) {
@@ -72,6 +152,12 @@ bool tcp_socket::read_exact(void* data, std::size_t size) {
     }
     if (errno == EINTR) {
       continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Only reachable with a receive timeout set: the peer made no
+      // progress inside the bound. The stream may sit mid-frame, so this is
+      // an error (retry loops reconnect), not end-of-stream.
+      throw socket_error{"recv: timed out"};
     }
     if (errno == ECONNRESET || errno == EPIPE) {
       return false;  // reset reads as end-of-stream, like a close
@@ -82,12 +168,28 @@ bool tcp_socket::read_exact(void* data, std::size_t size) {
 }
 
 void tcp_socket::write_all(const void* data, std::size_t size) {
+  if (const auto f = WAVEMIG_FAULT_HIT("socket.write.error"); f.fired) {
+    throw socket_error{"send: injected fault (socket.write.error)"};
+  }
+  std::size_t inject_short_after = std::numeric_limits<std::size_t>::max();
+  if (const auto f = WAVEMIG_FAULT_HIT("socket.write.short"); f.fired) {
+    inject_short_after = std::min(size, f.max_bytes == 0 ? 1 : f.max_bytes);
+  }
   const auto* at = static_cast<const std::uint8_t*>(data);
   while (size > 0) {
-    const ssize_t put = ::send(fd_, at, size, MSG_NOSIGNAL);
+    if (inject_short_after == 0) {
+      // The partial write went out, then the connection "died": the peer
+      // sees a truncated frame, we see a write error.
+      throw socket_error{"send: injected fault (socket.write.short)"};
+    }
+    const ssize_t put =
+        ::send(fd_, at, std::min(size, inject_short_after), MSG_NOSIGNAL);
     if (put > 0) {
       at += put;
       size -= static_cast<std::size_t>(put);
+      if (inject_short_after != std::numeric_limits<std::size_t>::max()) {
+        inject_short_after -= std::min(inject_short_after, static_cast<std::size_t>(put));
+      }
       continue;
     }
     if (put < 0 && errno == EINTR) {
@@ -140,6 +242,7 @@ tcp_listener& tcp_listener::operator=(tcp_listener&& other) noexcept {
 }
 
 tcp_listener tcp_listener::listen_loopback(std::uint16_t port, int backlog) {
+  ignore_sigpipe();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     throw_errno("socket");
@@ -173,14 +276,32 @@ tcp_socket tcp_listener::accept() {
   for (;;) {
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) {
+      if (const auto f = WAVEMIG_FAULT_HIT("socket.accept.abort"); f.fired) {
+        // As if the peer aborted between the kernel queue and us: the
+        // connection is dropped, the accept loop keeps serving.
+        (void)::close(fd);
+        continue;
+      }
       const int one = 1;
       (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       return tcp_socket{fd};
     }
-    if (errno == EINTR) {
-      continue;
+    switch (errno) {
+      case EINTR:
+      case ECONNABORTED:  // the peer gave up while queued — not our failure
+#ifdef EPROTO
+      case EPROTO:
+#endif
+        continue;
+      case EMFILE:  // fd exhaustion is transient under load: back off and
+      case ENFILE:  // retry instead of killing the accept loop (and with it
+      case ENOBUFS:  // the server) the moment the process is busiest
+      case ENOMEM:
+        std::this_thread::sleep_for(std::chrono::milliseconds{10});
+        continue;
+      default:
+        return tcp_socket{};  // listener closed / shut down: accept loop exits
     }
-    return tcp_socket{};  // listener closed / shut down: accept loop exits
   }
 }
 
