@@ -40,6 +40,7 @@
 #include "wavemig/engine/serving.hpp"
 #include "wavemig/engine/wave_engine.hpp"
 #include "wavemig/gen/arith.hpp"
+#include "wavemig/gen/misc.hpp"
 #include "wavemig/gen/random_mig.hpp"
 #include "wavemig/levels.hpp"
 #include "wavemig/pipeline.hpp"
@@ -691,6 +692,152 @@ int main(int argc, char** argv) {
     scenario_gate_ok = scenario_gate_ratio >= 0.8;
   }
 
+  // --- compiler scheduling sweep (schedule level x kernel shape) ------------
+  // The scheduling-PR acceptance sweep: both reference netlists compiled at
+  // opt 2 under schedule levels 0/1/2 and measured on the plane-major
+  // kernel (the production path). Scheduling reorders the combinational
+  // program *before* slot recycling, so the gates check both effects — the
+  // scheduled program must hold the unscheduled steady-state throughput
+  // (best-of-two windows per side, the usual 0.95 timer-noise tolerance)
+  // and the mig4k scratch working set (comb slots == peak liveness + fixed)
+  // must shrink at schedule level >= 1.
+  struct sched_case_record {
+    const char* name;
+    double wps[3]{};         // plane-major waves/s at schedule level 0/1/2
+    std::size_t slots[3]{};  // comb slots at opt 2, schedule level 0/1/2
+    std::size_t peak[3]{};   // post-schedule peak live slots
+    std::size_t moves[3]{};  // ops moved off their original position
+  };
+  std::vector<sched_case_record> sched_records;
+  bool sched_gate_ok = true;
+  for (const auto& k : kernel_cases) {
+    sched_case_record rec;
+    rec.name = k.name;
+    const auto batch_k = kernel_batch(k.net, 4242);
+    const std::size_t chunks = batch_k.num_chunks();
+    std::vector<std::uint64_t> plane_out;
+    std::vector<std::uint64_t> scratch;
+    std::vector<std::uint64_t> reference;
+    for (unsigned level = 0; level < 3; ++level) {
+      const engine::compiled_netlist program{
+          k.net, k.schedule, {.opt_level = 2, .schedule_level = level}};
+      rec.slots[level] = program.comb_slot_count();
+      rec.peak[level] = program.opt_stats().peak_live_slots;
+      rec.moves[level] = program.opt_stats().scheduled_op_moves;
+      plane_out.assign(chunks * program.num_pos(), 0);
+      const auto pass = [&] {
+        engine::eval_packed_planes(program, batch_k.view(),
+                                   {plane_out.data(), chunks, program.num_pos(), chunks},
+                                   scratch);
+      };
+      pass();
+      if (level == 0) {
+        reference = plane_out;
+      } else if (plane_out != reference) {
+        std::fprintf(stderr, "FATAL: scheduled program diverges on %s\n", k.name);
+        return 2;
+      }
+      rec.wps[level] = std::max(measure_wps(batch_k.num_waves(), pass),
+                                measure_wps(batch_k.num_waves(), pass));
+    }
+    sched_gate_ok =
+        sched_gate_ok && std::max(rec.wps[1], rec.wps[2]) >= 0.95 * rec.wps[0];
+    sched_records.push_back(rec);
+  }
+  // mig4k (record 1) is the liveness acceptance shape: interleaved random
+  // cones are exactly what the greedy scheduler de-interleaves.
+  const bool sched_liveness_ok = sched_records[1].slots[1] < sched_records[1].slots[0] &&
+                                 sched_records[1].peak[1] < sched_records[1].peak[0];
+
+  // Op-prefetch default (off) against the flipped setting on the larger
+  // program (mig4k, opt 2 + schedule 1): the shipped default must be at
+  // least as fast as the alternative — the measured justification for
+  // defaulting the toggle off.
+  double sched_prefetch_ratio = 0.0;
+  {
+    const auto& mk = kernel_cases[1];
+    const auto batch_k = kernel_batch(mk.net, 4243);
+    const std::size_t chunks = batch_k.num_chunks();
+    const engine::compiled_netlist with{
+        mk.net, mk.schedule,
+        {.opt_level = 2, .schedule_level = 1, .op_prefetch = true}};
+    const engine::compiled_netlist without{
+        mk.net, mk.schedule,
+        {.opt_level = 2, .schedule_level = 1, .op_prefetch = false}};
+    std::vector<std::uint64_t> out_a(chunks * with.num_pos());
+    std::vector<std::uint64_t> out_b(chunks * with.num_pos());
+    std::vector<std::uint64_t> scratch;
+    const auto pass_with = [&] {
+      engine::eval_packed_planes(with, batch_k.view(),
+                                 {out_a.data(), chunks, with.num_pos(), chunks}, scratch);
+    };
+    const auto pass_without = [&] {
+      engine::eval_packed_planes(without, batch_k.view(),
+                                 {out_b.data(), chunks, without.num_pos(), chunks},
+                                 scratch);
+    };
+    pass_with();
+    pass_without();
+    if (out_a != out_b) {
+      std::fprintf(stderr, "FATAL: op-prefetch toggle changes outputs\n");
+      return 2;
+    }
+    const double on_wps = std::max(measure_wps(batch_k.num_waves(), pass_with),
+                                   measure_wps(batch_k.num_waves(), pass_with));
+    const double off_wps = std::max(measure_wps(batch_k.num_waves(), pass_without),
+                                    measure_wps(batch_k.num_waves(), pass_without));
+    sched_prefetch_ratio = off_wps / on_wps;  // default (off) vs alternative (on)
+  }
+  const bool sched_prefetch_gate_ok = sched_prefetch_ratio >= 0.95;
+
+  // Tiled wide-PI transpose against the naive stride-num_signals loop, on
+  // the wide-I/O stress shape (4096 PI planes), plus the end-to-end packed
+  // throughput of the wide circuit itself.
+  double sched_tile_ratio = 0.0;
+  double wide_io_wps = 0.0;
+  {
+    const auto wide = insert_buffers(gen::wide_io_circuit(4096, 64));
+    const std::size_t wide_waves = 2048;
+    std::mt19937_64 wide_rng{991};
+    engine::wave_batch wide_batch{wide.net.num_pis()};
+    wide_batch.reserve(wide_waves);
+    std::vector<bool> wave(wide.net.num_pis());
+    for (std::size_t w = 0; w < wide_waves; ++w) {
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        wave[i] = (wide_rng() & 1u) != 0;
+      }
+      wide_batch.append(wave);
+    }
+    const std::size_t wide_pis = wide.net.num_pis();
+    const std::size_t wide_chunks = wide_batch.num_chunks();
+
+    // Tiled production path (chunk_major_words) vs the naive transpose.
+    volatile std::uint64_t sink = 0;
+    const auto tiled_pass = [&] { sink = sink + wide_batch.chunk_major_words()[0]; };
+    const auto naive_pass = [&] {
+      std::vector<std::uint64_t> dst(wide_chunks * wide_pis);
+      for (std::size_t i = 0; i < wide_pis; ++i) {
+        const std::uint64_t* plane = wide_batch.plane(i);
+        for (std::size_t c = 0; c < wide_chunks; ++c) {
+          dst[c * wide_pis + i] = plane[c];
+        }
+      }
+      sink = sink + dst[0];
+    };
+    const double tiled_wps = std::max(measure_wps(wide_waves, tiled_pass),
+                                      measure_wps(wide_waves, tiled_pass));
+    const double naive_wps = std::max(measure_wps(wide_waves, naive_pass),
+                                      measure_wps(wide_waves, naive_pass));
+    sched_tile_ratio = tiled_wps / naive_wps;
+
+    const engine::compiled_netlist wide_program{
+        wide.net, wide.schedule, {.opt_level = 2, .schedule_level = 1}};
+    wide_io_wps = measure_wps(wide_waves, [&] {
+      (void)engine::run_waves_packed(wide_program, wide_batch, phases);
+    });
+  }
+  const bool sched_tile_gate_ok = sched_tile_ratio >= 0.95;
+
   // The serving/scaling gates are decoration on a 1-core host (nothing can
   // scale); they are enforced wherever the hardware can actually express
   // the property — the multi-core CI runner.
@@ -794,6 +941,32 @@ int main(int argc, char** argv) {
                        scenario_gate_ratio);
     bench::json_record("perf_wave_engine", "scenario_gate_ok",
                        scenario_gate_ok ? 1.0 : 0.0);
+    for (const auto& rec : sched_records) {
+      const std::string prefix = std::string{"sched_"} + rec.name;
+      for (int level = 0; level < 3; ++level) {
+        const std::string suffix = std::to_string(level);
+        bench::json_record("perf_wave_engine", prefix + "_waves_per_s_l" + suffix,
+                           rec.wps[level]);
+        bench::json_record("perf_wave_engine", prefix + "_comb_slots_l" + suffix,
+                           static_cast<double>(rec.slots[level]));
+        bench::json_record("perf_wave_engine", prefix + "_peak_live_l" + suffix,
+                           static_cast<double>(rec.peak[level]));
+        bench::json_record("perf_wave_engine", prefix + "_op_moves_l" + suffix,
+                           static_cast<double>(rec.moves[level]));
+      }
+      bench::json_record("perf_wave_engine", prefix + "_ratio",
+                         std::max(rec.wps[1], rec.wps[2]) / rec.wps[0]);
+    }
+    bench::json_record("perf_wave_engine", "sched_gate_ok", sched_gate_ok ? 1.0 : 0.0);
+    bench::json_record("perf_wave_engine", "sched_liveness_reduced",
+                       sched_liveness_ok ? 1.0 : 0.0);
+    bench::json_record("perf_wave_engine", "sched_prefetch_ratio", sched_prefetch_ratio);
+    bench::json_record("perf_wave_engine", "sched_prefetch_gate_ok",
+                       sched_prefetch_gate_ok ? 1.0 : 0.0);
+    bench::json_record("perf_wave_engine", "sched_tile_ratio", sched_tile_ratio);
+    bench::json_record("perf_wave_engine", "sched_tile_gate_ok",
+                       sched_tile_gate_ok ? 1.0 : 0.0);
+    bench::json_record("perf_wave_engine", "sched_wide_io_waves_per_s", wide_io_wps);
     bench::json_record("perf_wave_engine", "serving_scaling_gates_enforced",
                        hw_threads > 1 ? 1.0 : 0.0);
     bench::json_record("perf_wave_engine", "serving_scaling_gates_ok",
@@ -876,6 +1049,29 @@ int main(int argc, char** argv) {
                   rec.repeaters);
     }
 
+    std::printf("\ncompiler scheduling sweep — plane-major kernel at opt 2, schedule "
+                "levels 0/1/2\n");
+    std::printf("%-10s %14s %14s %14s %10s %14s\n", "netlist", "sched 0", "sched 1",
+                "sched 2", "ratio", "slots 0/1/2");
+    bench::print_rule('-', 84);
+    for (const auto& rec : sched_records) {
+      char slots[48];
+      std::snprintf(slots, sizeof(slots), "%zu/%zu/%zu", rec.slots[0], rec.slots[1],
+                    rec.slots[2]);
+      std::printf("%-10s %14s %14s %14s %9sx %14s\n", rec.name,
+                  bench::fmt(rec.wps[0]).c_str(), bench::fmt(rec.wps[1]).c_str(),
+                  bench::fmt(rec.wps[2]).c_str(),
+                  bench::fmt(std::max(rec.wps[1], rec.wps[2]) / rec.wps[0]).c_str(), slots);
+      std::printf("%-10s %46s peak live 0/1/2: %zu/%zu/%zu | moves 1/2: %zu/%zu\n", "", "",
+                  rec.peak[0], rec.peak[1], rec.peak[2], rec.moves[1], rec.moves[2]);
+    }
+    std::printf("%-22s %14s (tiled vs naive transpose, 4096 planes)\n", "wide-PI tile ratio",
+                bench::fmt(sched_tile_ratio).c_str());
+    std::printf("%-22s %14s (wide_io 4096x64 end-to-end)\n", "wide-PI waves/s",
+                bench::fmt(wide_io_wps).c_str());
+    std::printf("%-22s %14s (default off vs on; mig4k, opt 2 + sched 1)\n",
+                "op-prefetch ratio", bench::fmt(sched_prefetch_ratio).c_str());
+
     std::printf("\nacceptance: packed >= 10x over seed scalar: %s (%sx)\n",
                 packed_speedup >= 10.0 ? "PASS" : "FAIL",
                 bench::fmt(packed_speedup).c_str());
@@ -888,6 +1084,18 @@ int main(int argc, char** argv) {
     std::printf("acceptance: scenario tagging costs nothing on the default scenario "
                 "(>= 0.8): %s (%s)\n",
                 scenario_gate_ok ? "PASS" : "FAIL", bench::fmt(scenario_gate_ratio).c_str());
+    std::printf("acceptance: scheduled >= unscheduled throughput on every netlist "
+                "(>= 0.95): %s\n",
+                sched_gate_ok ? "PASS" : "FAIL");
+    std::printf("acceptance: scheduling shrinks the mig4k working set (slots and peak "
+                "liveness): %s\n",
+                sched_liveness_ok ? "PASS" : "FAIL");
+    std::printf("acceptance: op-prefetch default beats the flipped setting (>= 0.95): "
+                "%s (%s)\n",
+                sched_prefetch_gate_ok ? "PASS" : "FAIL",
+                bench::fmt(sched_prefetch_ratio).c_str());
+    std::printf("acceptance: tiled transpose holds the naive loop (>= 0.95): %s (%s)\n",
+                sched_tile_gate_ok ? "PASS" : "FAIL", bench::fmt(sched_tile_ratio).c_str());
     if (hw_threads > 1) {
       std::printf("acceptance: serving_async_vs_parallel >= 0.85: %s (%s)\n",
                   serving_vs_parallel >= 0.85 ? "PASS" : "FAIL",
@@ -901,7 +1109,8 @@ int main(int argc, char** argv) {
   }
 
   return packed_speedup >= 10.0 && best_kernel_speedup >= 2.0 && plane_holds_pr4 &&
-                 scenario_gate_ok && multicore_ok
+                 scenario_gate_ok && sched_gate_ok && sched_liveness_ok &&
+                 sched_prefetch_gate_ok && sched_tile_gate_ok && multicore_ok
              ? 0
              : 1;
 }

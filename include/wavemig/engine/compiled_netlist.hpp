@@ -82,6 +82,9 @@ public:
   [[nodiscard]] std::size_t num_pos() const { return num_pos_; }
   /// Majority operations in the combinational program (after optimization).
   [[nodiscard]] std::size_t num_comb_ops() const { return comb_ops_.size(); }
+  /// The combinational program itself, in execution order. Exposed so
+  /// schedulers and tests can audit op order and operand liveness.
+  [[nodiscard]] const std::vector<maj_op>& comb_ops() const { return comb_ops_; }
   /// Value slots of the combinational program: 1 (constant) + PIs + gate
   /// slots. This is the scratch working set of the packed kernel, per word
   /// of kernel width; slot recycling (opt level >= 2) shrinks it to peak
@@ -89,8 +92,8 @@ public:
   [[nodiscard]] std::size_t comb_slot_count() const { return comb_slot_count_; }
   /// The options this program was compiled with.
   [[nodiscard]] compile_options options() const { return options_; }
-  /// What the optimizer did (all zeros at opt level 0, where `*_before`
-  /// still describes the raw lowering).
+  /// What the optimizer did (all zeros when opt level and schedule level
+  /// are both 0, where `*_before` still describes the raw lowering).
   [[nodiscard]] const optimizer_stats& opt_stats() const { return opt_stats_; }
   /// Physical components in the tick program.
   [[nodiscard]] std::size_t num_tick_ops() const { return tick_ops_.size(); }
@@ -237,8 +240,9 @@ private:
   void lower(const mig_network& net, const level_map* schedule);
 
   /// Runs the post-lowering optimizer over the combinational program
-  /// (optimizer.cpp). Fills opt_stats_; a no-op at opt level 0.
-  void optimize(unsigned opt_level);
+  /// (optimizer.cpp), reading options_ (opt_level + schedule_level). Fills
+  /// opt_stats_; a no-op when both levels are 0.
+  void optimize();
 
   compile_options options_{};
   optimizer_stats opt_stats_{};

@@ -301,7 +301,11 @@ struct cache_limits {
 /// that bound is set). The op/slot totals are summed over the resident
 /// compiled programs — with the optimizer on (compile_options::opt_level),
 /// they are what the session actually executes and keeps hot, not what the
-/// raw networks dictate.
+/// raw networks dictate. `comb_peak_live` and `sched_op_moves` sum the
+/// post-schedule optimizer_stats of the resident programs (measured peak
+/// liveness and ops moved by the scheduling pass), so a
+/// compile_options::schedule_level win is observable at the session level
+/// without instrumenting wall clock.
 struct session_stats {
   std::uint64_t hits{0};
   std::uint64_t misses{0};
@@ -310,6 +314,8 @@ struct session_stats {
   std::size_t bytes{0};
   std::size_t comb_ops{0};
   std::size_t comb_slots{0};
+  std::size_t comb_peak_live{0};
+  std::size_t sched_op_moves{0};
 };
 
 /// Serving-style compiled-netlist cache: the first batch against a network
@@ -389,6 +395,27 @@ public:
                                                                 std::uint64_t fingerprint,
                                                                 const tech_scenario& scenario);
 
+  /// Per-request compile-options override: the program is built with `opts`
+  /// instead of this session's defaults, and the cache key carries
+  /// `options_fingerprint(opts)` — so the same netlist compiled at two
+  /// schedule or opt levels occupies two distinct entries and can never
+  /// cross-serve (every key, including the default-options paths above,
+  /// carries its options fingerprint).
+  [[nodiscard]] std::shared_ptr<const compiled_netlist> compile(const mig_network& net,
+                                                                unsigned phases,
+                                                                std::uint64_t fingerprint,
+                                                                const compile_options& opts);
+
+  /// Scenario-tagged compile with a per-request compile-options override;
+  /// the scenario fingerprint and FDM lane count are applied on top of
+  /// `opts` exactly as the default path applies them to the session
+  /// options.
+  [[nodiscard]] std::shared_ptr<const compiled_netlist> compile(const mig_network& net,
+                                                                unsigned phases,
+                                                                std::uint64_t fingerprint,
+                                                                const tech_scenario& scenario,
+                                                                const compile_options& opts);
+
   [[nodiscard]] session_stats stats() const;
   [[nodiscard]] std::size_t cached_netlists() const;
   [[nodiscard]] std::uint64_t cache_hits() const;
@@ -403,6 +430,12 @@ private:
     /// (the scenario-less compile path — tech_scenario fingerprints are
     /// never 0).
     std::uint64_t scenario{0};
+    /// options_fingerprint() of the full effective compile_options the
+    /// program was built with (opt level, schedule level, prefetch toggle,
+    /// scenario tag, FDM lanes). Two compiles of the same network under
+    /// different options are different executable programs and must never
+    /// share an entry.
+    std::uint64_t options{0};
     friend bool operator==(const cache_key&, const cache_key&) = default;
   };
   struct cache_key_hash {

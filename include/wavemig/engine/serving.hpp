@@ -9,6 +9,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -99,6 +100,13 @@ struct submit_options {
   /// Scenario of the request; null = untagged. Shared so fused members and
   /// the coalescing machinery never copy the scenario.
   std::shared_ptr<const tech_scenario> scenario;
+  /// Per-request compile-options override (opt level, schedule level,
+  /// prefetch toggle); nullopt = the session's defaults. The override joins
+  /// the program cache key via its options fingerprint, so the same netlist
+  /// requested at two schedule levels is served by two distinct cached
+  /// programs — and requests compiled under different options never
+  /// coalesce (coalescing keys on the program pointer).
+  std::optional<compile_options> compile;
 };
 
 /// Overload load-shedding policy (set_shed_policy). When the session looks

@@ -23,4 +23,13 @@ mig_network priority_encoder_circuit(unsigned width);
 /// input; outputs one-hot grants (EPFL `arbiter`, simplified).
 mig_network arbiter_circuit(unsigned width);
 
+/// Wide-I/O stress circuit: `inputs` primary inputs reduced to `outputs`
+/// primary outputs by shallow interleaved majority trees (output j
+/// majority-reduces the input slice {j, j+outputs, j+2*outputs, ...}).
+/// The point is shape, not logic: with thousands of PI/PO planes and only
+/// a few gates per output, packed runs are dominated by the per-plane
+/// transposes and PI/PO traffic — the first-class stress case for the
+/// I/O-tiled layout paths. Requires inputs >= 3 * outputs and outputs >= 1.
+mig_network wide_io_circuit(unsigned inputs, unsigned outputs);
+
 }  // namespace wavemig::gen

@@ -76,6 +76,35 @@ void run_ops_block(const compiled_netlist::maj_op* ops, std::size_t num_ops,
   }
 }
 
+/// Op-group grain of the software-pipelined kernel loop: while one group
+/// computes, the next group's operand slot words are prefetched. 32 ops is
+/// ~enough majority work (32*W word-lanes) to hide an L2 miss without the
+/// prefetched lines aging out of L1 before their group runs.
+constexpr std::size_t op_prefetch_group = 32;
+
+/// The kernel pass of one W-word block, optionally software-pipelined
+/// (compile_options::op_prefetch): the op program runs in groups of
+/// `op_prefetch_group`, prefetching the next group's operand blocks while
+/// the current group computes. Pays off when the slot working set outruns
+/// L2 (unrecycled or very wide programs); small programs skip the group
+/// loop entirely — one group would mean pure overhead.
+void run_ops_block_pipelined(const compiled_netlist::maj_op* ops, std::size_t num_ops,
+                             std::uint64_t* slots, std::size_t w, bool prefetch) {
+  if (!prefetch || num_ops <= 2 * op_prefetch_group) {
+    run_ops_block(ops, num_ops, slots, w);
+    return;
+  }
+  for (std::size_t off = 0; off < num_ops; off += op_prefetch_group) {
+    const std::size_t g = std::min(op_prefetch_group, num_ops - off);
+    const std::size_t ahead = off + g;
+    if (ahead < num_ops) {
+      detail::prefetch_ops_operands(ops + ahead, std::min(op_prefetch_group, num_ops - ahead),
+                                    slots, w);
+    }
+    run_ops_block(ops + off, g, slots, w);
+  }
+}
+
 }  // namespace
 
 compiled_netlist::compiled_netlist(const mig_network& net, compile_options options)
@@ -88,14 +117,14 @@ compiled_netlist::compiled_netlist(const mig_network& net, const level_map& sche
   }
   options_ = options;
   lower(net, &schedule);
-  optimize(options.opt_level);
+  optimize();
 }
 
 compiled_netlist compiled_netlist::comb_only(const mig_network& net, compile_options options) {
   compiled_netlist compiled;
   compiled.options_ = options;
   compiled.lower(net, nullptr);
-  compiled.optimize(options.opt_level);
+  compiled.optimize();
   return compiled;
 }
 
@@ -250,7 +279,7 @@ void compiled_netlist::eval_planes_block(const std::uint64_t* pi_planes, std::si
       }
     }
 
-    run_ops_block(comb_ops_.data(), comb_ops_.size(), s, w);
+    run_ops_block_pipelined(comb_ops_.data(), comb_ops_.size(), s, w, options_.op_prefetch);
 
     for (std::size_t p = 0; p < num_pos_; ++p) {
       const slot_ref ref = comb_po_refs_[p];

@@ -513,6 +513,7 @@ std::size_t batch_session::cache_key_hash::operator()(const cache_key& k) const 
   h ^= (static_cast<std::uint64_t>(k.strategy) + 1) * 0x9e3779b97f4a7c15ull;
   h ^= (static_cast<std::uint64_t>(k.phases) + 1) * 0xbf58476d1ce4e5b9ull;
   h ^= (k.scenario + 1) * 0x94d049bb133111ebull;
+  h ^= (k.options + 1) * 0x2545f4914f6cdd1dull;
   return static_cast<std::size_t>(h ^ (h >> 32));
 }
 
@@ -571,7 +572,14 @@ std::shared_ptr<const compiled_netlist> batch_session::insert(
 std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
                                                                unsigned phases,
                                                                std::uint64_t fingerprint) {
-  const cache_key key{fingerprint, options_.strategy, phases};
+  return compile(net, phases, fingerprint, compile_options_);
+}
+
+std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
+                                                               unsigned phases,
+                                                               std::uint64_t fingerprint,
+                                                               const compile_options& opts) {
+  const cache_key key{fingerprint, options_.strategy, phases, 0, options_fingerprint(opts)};
   if (auto program = lookup(key)) {
     return program;
   }
@@ -579,8 +587,8 @@ std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network
   // Balance + lower + optimize outside the lock; a concurrent miss on the
   // same key compiles the identical program and the first insert wins.
   const auto balanced = insert_buffers(net, options_);
-  return insert(key, std::make_shared<const compiled_netlist>(balanced.net, balanced.schedule,
-                                                              compile_options_));
+  return insert(key,
+                std::make_shared<const compiled_netlist>(balanced.net, balanced.schedule, opts));
 }
 
 std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
@@ -593,7 +601,23 @@ std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network
                                                                unsigned phases,
                                                                std::uint64_t fingerprint,
                                                                const tech_scenario& scenario) {
-  const cache_key key{fingerprint, options_.strategy, phases, scenario.fingerprint()};
+  return compile(net, phases, fingerprint, scenario, compile_options_);
+}
+
+std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network& net,
+                                                               unsigned phases,
+                                                               std::uint64_t fingerprint,
+                                                               const tech_scenario& scenario,
+                                                               const compile_options& opts) {
+  // The effective options — scenario tag and FDM lane count applied on top
+  // of the session/request base — are computed *before* the key, so the
+  // options fingerprint in the key always describes exactly the program
+  // the entry holds.
+  compile_options tagged = opts;
+  tagged.scenario_fingerprint = scenario.fingerprint();
+  tagged.fdm_lanes = scenario.fdm_lanes;
+  const cache_key key{fingerprint, options_.strategy, phases, tagged.scenario_fingerprint,
+                      options_fingerprint(tagged)};
   if (auto program = lookup(key)) {
     return program;
   }
@@ -608,9 +632,6 @@ std::shared_ptr<const compiled_netlist> batch_session::compile(const mig_network
   prep.schedule = options_.schedule;
   auto prepared = wave_pipeline(net, prep);
 
-  compile_options tagged = compile_options_;
-  tagged.scenario_fingerprint = key.scenario;
-  tagged.fdm_lanes = scenario.fdm_lanes;
   return insert(key, std::make_shared<const compiled_netlist>(prepared.net, tagged));
 }
 
@@ -628,10 +649,12 @@ packed_wave_result batch_session::run(const mig_network& net, const wave_batch& 
 
 session_stats batch_session::stats() const {
   std::lock_guard<std::mutex> lock{mutex_};
-  session_stats s{hits_, misses_, evictions_, cache_.size(), bytes_, 0, 0};
+  session_stats s{hits_, misses_, evictions_, cache_.size(), bytes_, 0, 0, 0, 0};
   for (const auto& [key, entry] : cache_) {
     s.comb_ops += entry.program->num_comb_ops();
     s.comb_slots += entry.program->comb_slot_count();
+    s.comb_peak_live += entry.program->opt_stats().peak_live_slots;
+    s.sched_op_moves += entry.program->opt_stats().scheduled_op_moves;
   }
   return s;
 }

@@ -174,16 +174,24 @@ void wave_batch::append_words(const std::uint64_t* words, std::size_t num_waves)
 
   // Each incoming chunk-major word is masked to its valid waves and spliced
   // into its plane. The aligned case (offset 0) degenerates to `lo |= w`
-  // into zeroed words. Chunk-outer iteration keeps the chunk-major source
-  // sequential.
-  for (std::size_t c = 0; c < in_chunks; ++c) {
-    const std::uint64_t* in = words + c * num_pis_;
-    const std::size_t valid = std::min<std::size_t>(64, num_waves - c * 64);
-    const std::uint64_t valid_mask =
-        valid == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << valid) - 1;
+  // into zeroed words. I/O-tiled iteration — chunk tiles outer, planes mid,
+  // chunks inner — keeps each destination plane line resident for a whole
+  // tile of splices: the old chunk-outer walk cycled through all num_pis
+  // plane lines per chunk, which on very-wide-PI batches re-fetched every
+  // line once per chunk.
+  const std::size_t tail = num_waves % 64;
+  const std::uint64_t tail_mask = tail == 0 ? ~std::uint64_t{0}
+                                            : (std::uint64_t{1} << tail) - 1;
+  constexpr std::size_t tile = compiled_netlist::max_block_chunks;
+  for (std::size_t c0 = 0; c0 < in_chunks; c0 += tile) {
+    const std::size_t c1 = std::min(in_chunks, c0 + tile);
     for (std::size_t i = 0; i < num_pis_; ++i) {
-      splice_word(words_.data() + i * chunk_capacity_, in[i] & valid_mask,
-                  num_waves_ + c * 64, total_chunks);
+      std::uint64_t* plane = words_.data() + i * chunk_capacity_;
+      for (std::size_t c = c0; c < c1; ++c) {
+        const std::uint64_t in = words[c * num_pis_ + i];
+        splice_word(plane, c + 1 == in_chunks ? in & tail_mask : in, num_waves_ + c * 64,
+                    total_chunks);
+      }
     }
   }
   num_waves_ = total;
@@ -205,9 +213,12 @@ void wave_batch::append_planes(const std::uint64_t* planes, std::size_t plane_st
                                             : (std::uint64_t{1} << tail) - 1;
   if (offset == 0) {
     // Aligned: one contiguous copy per plane, then mask the incoming tail.
+    // copy_words_small because wide-PI appends put only a few chunk words
+    // in each of very many planes — the worst case for per-plane memcpy
+    // call overhead.
     for (std::size_t i = 0; i < num_pis_; ++i) {
       std::uint64_t* dst = words_.data() + i * chunk_capacity_ + num_waves_ / 64;
-      std::memcpy(dst, planes + i * plane_stride, in_chunks * sizeof(std::uint64_t));
+      detail::copy_words_small(dst, planes + i * plane_stride, in_chunks);
       dst[in_chunks - 1] &= tail_mask;
     }
   } else {
@@ -263,12 +274,8 @@ wave_batch wave_batch::from_plane_words(std::vector<std::uint64_t> words, std::s
 std::vector<std::uint64_t> wave_batch::chunk_major_words() const {
   const std::size_t chunks = num_chunks();
   std::vector<std::uint64_t> out(chunks * num_pis_);
-  for (std::size_t i = 0; i < num_pis_; ++i) {
-    const std::uint64_t* plane = words_.data() + i * chunk_capacity_;
-    for (std::size_t c = 0; c < chunks; ++c) {
-      out[c * num_pis_ + i] = plane[c];
-    }
-  }
+  detail::transpose_planes_to_chunk_major(words_.data(), chunk_capacity_, num_pis_, chunks,
+                                          out.data());
   return out;
 }
 
@@ -287,12 +294,7 @@ wave_batch wave_batch::from_waves(const std::vector<std::vector<bool>>& waves,
 std::vector<std::uint64_t> packed_wave_result::chunk_major_words() const {
   const std::size_t chunks = num_chunks();
   std::vector<std::uint64_t> out(chunks * num_pos);
-  for (std::size_t p = 0; p < num_pos; ++p) {
-    const std::uint64_t* po_plane = words.data() + p * chunks;
-    for (std::size_t c = 0; c < chunks; ++c) {
-      out[c * num_pos + p] = po_plane[c];
-    }
-  }
+  detail::transpose_planes_to_chunk_major(words.data(), chunks, num_pos, chunks, out.data());
   return out;
 }
 

@@ -157,4 +157,39 @@ mig_network arbiter_circuit(unsigned width) {
   return net;
 }
 
+mig_network wide_io_circuit(unsigned inputs, unsigned outputs) {
+  if (outputs == 0 || inputs < 3 * static_cast<unsigned long long>(outputs)) {
+    throw std::invalid_argument{"wide_io_circuit: inputs >= 3 * outputs >= 3 required"};
+  }
+  if (inputs > (1u << 16)) {
+    throw std::invalid_argument{"wide_io_circuit: at most 65536 inputs"};
+  }
+  mig_network net;
+  const word in = make_input_word(net, inputs, "w");
+  for (unsigned j = 0; j < outputs; ++j) {
+    // The strided slice keeps every output's cone spread across the whole
+    // input range, so no PI plane is dead weight.
+    word layer;
+    for (unsigned i = j; i < inputs; i += outputs) {
+      layer.push_back(in[i]);
+    }
+    // Triple-reduce with majority gates; a 2-signal remainder folds with OR.
+    while (layer.size() > 1) {
+      word next;
+      std::size_t i = 0;
+      for (; i + 2 < layer.size(); i += 3) {
+        next.push_back(net.create_maj(layer[i], layer[i + 1], layer[i + 2]));
+      }
+      if (i + 1 < layer.size()) {
+        next.push_back(net.create_or(layer[i], layer[i + 1]));
+      } else if (i < layer.size()) {
+        next.push_back(layer[i]);
+      }
+      layer = std::move(next);
+    }
+    net.create_po(layer.front(), "m" + std::to_string(j));
+  }
+  return net;
+}
+
 }  // namespace wavemig::gen

@@ -84,6 +84,9 @@ const std::vector<suite_entry>& registry() {
     e.push_back({"dec8", [] { return decoder_circuit(8); }});
     e.push_back({"priority64", [] { return priority_encoder_circuit(64); }});
     e.push_back({"arbiter16", [] { return arbiter_circuit(16); }});
+    // (wide_io_circuit is deliberately NOT a suite entry: the suite pins
+    // the paper's 37 benchmarks. The wide-I/O transpose stress shape is
+    // built directly by the bench and tests that need it.)
 
     // Seeded random MIGs (size-scaling tail of Fig. 5).
     e.push_back({"rand_mid", [] {

@@ -214,9 +214,13 @@ TEST(differential, buffer_strategies_never_change_the_function) {
 /// above num_waves are injected and must never survive.
 TEST(differential, layout_round_trip_is_an_involution) {
   std::mt19937_64 rng{0xBEEF};
-  for (int round = 0; round < 40; ++round) {
-    const std::size_t num_pis = 1 + rng() % 12;
-    const std::size_t num_waves = 1 + rng() % 600;
+  for (int round = 0; round < 48; ++round) {
+    // The last rounds use very wide interfaces (hundreds to thousands of
+    // planes, few waves) — the tiled-transpose regime of wide-PI circuits,
+    // where the signal tile loop dominates the chunk loop.
+    const std::size_t num_pis =
+        round < 40 ? 1 + rng() % 12 : 64 + rng() % 1990;
+    const std::size_t num_waves = round < 40 ? 1 + rng() % 600 : 1 + rng() % 200;
     const std::size_t chunks = (num_waves + 63) / 64;
 
     std::vector<std::uint64_t> chunk_major(chunks * num_pis);
@@ -395,6 +399,76 @@ TEST(differential, every_builtin_scenario_agrees_across_all_engine_paths) {
       EXPECT_EQ(parallel.waves_in_flight, async.waves_in_flight) << what;
       EXPECT_EQ(parallel.ticks, async.ticks) << what;
     }
+  }
+}
+
+// ---------------------------------------------- scheduler differential ---
+
+/// PR-10 referee: op-scheduled programs (schedule level 1 and 2, with and
+/// without the slot optimizer) pinned bit-identical to the unscheduled
+/// reference through the packed kernel, the sharded parallel executor, and
+/// the serving session with a per-request compile override, across the
+/// chunk-boundary wave counts — then through every built-in technology
+/// scenario, where the scenario pipeline's prepared program is scheduled
+/// too.
+TEST(differential, scheduled_programs_agree_across_all_engine_paths) {
+  engine::parallel_executor executor{4};
+  engine::serving_session serving{executor};
+
+  for (const std::size_t num_waves : {1ull, 63ull, 64ull, 65ull, 511ull}) {
+    const auto net = gen::random_mig({12, 160, 0.5, 9, 8800 + num_waves});
+    const auto shared = std::make_shared<const mig_network>(net);
+    const auto balanced = insert_buffers(net);
+    const auto waves = random_waves(num_waves, net.num_pis(), num_waves * 19 + 7);
+    const auto batch = engine::wave_batch::from_waves(waves, net.num_pis());
+    const engine::compiled_netlist reference{balanced.net, balanced.schedule,
+                                             {.opt_level = 2}};
+    const auto packed_ref = engine::run_waves_packed(reference, batch, 3);
+
+    for (const unsigned opt : {0u, 2u}) {
+      for (const unsigned sched : {1u, 2u}) {
+        const std::string what = std::to_string(num_waves) + " waves, opt " +
+                                 std::to_string(opt) + ", sched " + std::to_string(sched);
+        const engine::compiled_netlist scheduled{
+            balanced.net, balanced.schedule, {.opt_level = opt, .schedule_level = sched}};
+        const auto packed = engine::run_waves_packed(scheduled, batch, 3);
+        EXPECT_EQ(packed.words, packed_ref.words) << what << ": packed";
+        EXPECT_EQ(packed.ticks, packed_ref.ticks) << what;
+
+        const auto parallel = engine::run_waves_parallel(scheduled, batch, 3, executor);
+        EXPECT_EQ(parallel.words, packed_ref.words) << what << ": parallel";
+
+        engine::submit_options sopts;
+        sopts.compile = engine::compile_options{.opt_level = opt, .schedule_level = sched};
+        const auto async = serving.submit(shared, batch, 3, sopts).get();
+        EXPECT_EQ(async.words, packed_ref.words) << what << ": serving";
+        EXPECT_EQ(async.ticks, packed_ref.ticks) << what;
+      }
+    }
+  }
+
+  // Every built-in scenario with scheduling on, against the unscheduled
+  // scenario-tagged cache path.
+  engine::batch_session plain_session{executor, {}, {}, {.opt_level = 2}};
+  engine::batch_session sched_session{executor, {}, {},
+                                      {.opt_level = 2, .schedule_level = 1}};
+  engine::serving_session sched_serving{executor, {}, {}, 0,
+                                        {.opt_level = 2, .schedule_level = 2}};
+  for (const auto& name : tech_scenario::names()) {
+    const auto scenario = tech_scenario::by_name(name);
+    const auto net = gen::random_mig({11, 140, 0.5, 8, 3300});
+    const auto shared = std::make_shared<const mig_network>(net);
+    const auto waves = random_waves(65, net.num_pis(), 4400);
+    const auto batch = engine::wave_batch::from_waves(waves, net.num_pis());
+
+    const auto plain = plain_session.run(net, batch, 3, scenario);
+    const auto sched = sched_session.run(net, batch, 3, scenario);
+    const auto async = sched_serving.submit(shared, batch, 3, scenario).get();
+    EXPECT_EQ(sched.words, plain.words) << name << ": scheduled scenario run";
+    EXPECT_EQ(sched.ticks, plain.ticks) << name;
+    EXPECT_EQ(sched.waves_in_flight, plain.waves_in_flight) << name;
+    EXPECT_EQ(async.words, plain.words) << name << ": scheduled scenario serving";
+    EXPECT_EQ(async.ticks, plain.ticks) << name;
   }
 }
 

@@ -139,5 +139,57 @@ TEST(arbiter, width_must_be_power_of_two) {
   EXPECT_THROW(gen::arbiter_circuit(6), std::invalid_argument);
 }
 
+TEST(wide_io, interleaved_majority_reduction) {
+  const unsigned inputs = 96;
+  const unsigned outputs = 8;
+  const auto net = gen::wide_io_circuit(inputs, outputs);
+  EXPECT_EQ(net.num_pis(), inputs);
+  EXPECT_EQ(net.num_pos(), outputs);
+
+  // Reference: reduce each strided slice exactly like the generator.
+  const auto reduce = [](std::vector<bool> layer) {
+    while (layer.size() > 1) {
+      std::vector<bool> next;
+      std::size_t i = 0;
+      for (; i + 2 < layer.size(); i += 3) {
+        const int ones = layer[i] + layer[i + 1] + layer[i + 2];
+        next.push_back(ones >= 2);
+      }
+      if (i + 1 < layer.size()) {
+        next.push_back(layer[i] || layer[i + 1]);
+      } else if (i < layer.size()) {
+        next.push_back(layer[i]);
+      }
+      layer = std::move(next);
+    }
+    return layer.front();
+  };
+
+  std::mt19937_64 rng{23};
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<bool> in(inputs);
+    for (auto&& b : in) {
+      b = (rng() & 1u) != 0;
+    }
+    const auto out = simulate_pattern(net, in);
+    for (unsigned j = 0; j < outputs; ++j) {
+      std::vector<bool> slice;
+      for (unsigned i = j; i < inputs; i += outputs) {
+        slice.push_back(in[i]);
+      }
+      EXPECT_EQ(out[j], reduce(slice)) << "output " << j;
+    }
+  }
+}
+
+TEST(wide_io, shape_validation) {
+  EXPECT_THROW(gen::wide_io_circuit(5, 2), std::invalid_argument);
+  EXPECT_THROW(gen::wide_io_circuit(300, 0), std::invalid_argument);
+  EXPECT_THROW(gen::wide_io_circuit(1u << 17, 4), std::invalid_argument);
+  const auto minimal = gen::wide_io_circuit(3, 1);
+  EXPECT_EQ(minimal.num_pis(), 3u);
+  EXPECT_EQ(minimal.num_pos(), 1u);
+}
+
 }  // namespace
 }  // namespace wavemig

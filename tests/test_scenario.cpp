@@ -345,7 +345,8 @@ TEST(fdm_metadata, lanes_compress_ticks_and_multiply_waves_in_flight) {
   const auto prepared = wave_pipeline(gen::random_mig({10, 150, 0.5, 8, 808}), opts).net;
 
   const engine::compiled_netlist plain{prepared};
-  const engine::compiled_netlist fdm{prepared, engine::compile_options{0, 0, 4}};
+  const engine::compiled_netlist fdm{prepared,
+                                     engine::compile_options{.fdm_lanes = 4}};
 
   std::mt19937_64 rng{505};
   std::vector<std::vector<bool>> waves(130, std::vector<bool>(prepared.num_pis()));
